@@ -1,0 +1,336 @@
+// Benchmarks: one per reproduction experiment (see DESIGN.md's experiment
+// index). Each benchmark measures full controlled-mode executions of the
+// protocol under a fresh oblivious schedule per iteration and reports the
+// model-level cost metrics (shared-memory steps) alongside wall-clock
+// time, so `go test -bench . -benchmem` regenerates the shape of every
+// table: who wins, by what factor, and where the crossovers fall.
+package conciliator_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/adoptcommit"
+	core "github.com/oblivious-consensus/conciliator/internal/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/consensus"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/tas"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+func benchInputs(n int) []int {
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i
+	}
+	return in
+}
+
+// benchRun executes one controlled run of body and returns the result.
+func benchRun(b *testing.B, n int, algSeed, schedSeed uint64, body func(p *sim.Proc) int) sim.Result {
+	b.Helper()
+	src := sched.NewRandom(n, xrand.New(schedSeed))
+	_, _, res, err := sim.Collect(src, sim.Config{AlgSeed: algSeed}, body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkPriorityConciliator is E1/E2: one full Algorithm 1 execution
+// per iteration (n processes, distinct inputs).
+func BenchmarkPriorityConciliator(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inputs := benchInputs(n)
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				c := core.NewPriority[int](n, core.PriorityConfig{})
+				res := benchRun(b, n, uint64(i)*2+1, uint64(i)*2+2, func(p *sim.Proc) int {
+					return c.Conciliate(p, inputs[p.ID()])
+				})
+				steps += res.TotalSteps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N)/float64(n), "steps/proc")
+		})
+	}
+}
+
+// BenchmarkPriorityEpsilon is E2: Algorithm 1 at tighter epsilons.
+func BenchmarkPriorityEpsilon(b *testing.B) {
+	const n = 64
+	for _, eps := range []float64{0.5, 1.0 / 16, 1.0 / 256} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			inputs := benchInputs(n)
+			agreed := 0
+			for i := 0; i < b.N; i++ {
+				c := core.NewPriority[int](n, core.PriorityConfig{Epsilon: eps})
+				outs := make([]int, n)
+				benchRun(b, n, uint64(i)*2+1, uint64(i)*2+2, func(p *sim.Proc) int {
+					v := c.Conciliate(p, inputs[p.ID()])
+					outs[p.ID()] = v
+					return v
+				})
+				same := true
+				for _, o := range outs {
+					if o != outs[0] {
+						same = false
+					}
+				}
+				if same {
+					agreed++
+				}
+			}
+			b.ReportMetric(float64(agreed)/float64(b.N), "agree-rate")
+		})
+	}
+}
+
+// BenchmarkPrioritySteps is E3: individual step growth across n (log* n).
+func BenchmarkPrioritySteps(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inputs := benchInputs(n)
+			var maxSteps int64
+			for i := 0; i < b.N; i++ {
+				c := core.NewPriority[int](n, core.PriorityConfig{})
+				res := benchRun(b, n, uint64(i)+1, uint64(i)+9, func(p *sim.Proc) int {
+					return c.Conciliate(p, inputs[p.ID()])
+				})
+				maxSteps = res.MaxSteps()
+			}
+			b.ReportMetric(float64(maxSteps), "steps/proc")
+		})
+	}
+}
+
+// BenchmarkSifterDecay is E4: one full Algorithm 2 execution per
+// iteration.
+func BenchmarkSifterDecay(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inputs := benchInputs(n)
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				c := core.NewSifter[int](n, core.SifterConfig{})
+				res := benchRun(b, n, uint64(i)*2+1, uint64(i)*2+2, func(p *sim.Proc) int {
+					return c.Conciliate(p, inputs[p.ID()])
+				})
+				steps += res.TotalSteps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N)/float64(n), "steps/proc")
+		})
+	}
+}
+
+// BenchmarkSifterEpsilon is E5: agreement rate of Algorithm 2.
+func BenchmarkSifterEpsilon(b *testing.B) {
+	const n = 64
+	for _, eps := range []float64{0.5, 1.0 / 16} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			inputs := benchInputs(n)
+			agreed := 0
+			for i := 0; i < b.N; i++ {
+				c := core.NewSifter[int](n, core.SifterConfig{Epsilon: eps})
+				outs := make([]int, n)
+				benchRun(b, n, uint64(i)*2+1, uint64(i)*2+2, func(p *sim.Proc) int {
+					v := c.Conciliate(p, inputs[p.ID()])
+					outs[p.ID()] = v
+					return v
+				})
+				same := true
+				for _, o := range outs {
+					if o != outs[0] {
+						same = false
+					}
+				}
+				if same {
+					agreed++
+				}
+			}
+			b.ReportMetric(float64(agreed)/float64(b.N), "agree-rate")
+		})
+	}
+}
+
+// BenchmarkSifterSteps is E6: individual step growth across n (loglog n).
+func BenchmarkSifterSteps(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inputs := benchInputs(n)
+			var maxSteps int64
+			for i := 0; i < b.N; i++ {
+				c := core.NewSifter[int](n, core.SifterConfig{})
+				res := benchRun(b, n, uint64(i)+3, uint64(i)+11, func(p *sim.Proc) int {
+					return c.Conciliate(p, inputs[p.ID()])
+				})
+				maxSteps = res.MaxSteps()
+			}
+			b.ReportMetric(float64(maxSteps), "steps/proc")
+		})
+	}
+}
+
+// BenchmarkEmbedded is E7: Algorithm 3's O(n) total work vs the plain
+// sifter.
+func BenchmarkEmbedded(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inputs := benchInputs(n)
+			var total int64
+			for i := 0; i < b.N; i++ {
+				c := core.NewEmbedded[int](n, core.EmbeddedConfig{})
+				res := benchRun(b, n, uint64(i)*2+1, uint64(i)*2+2, func(p *sim.Proc) int {
+					return c.Conciliate(p, inputs[p.ID()])
+				})
+				total += res.TotalSteps
+			}
+			b.ReportMetric(float64(total)/float64(b.N)/float64(n), "steps/proc")
+		})
+	}
+}
+
+// BenchmarkConsensus is E8: one full consensus execution per iteration,
+// per construction.
+func BenchmarkConsensus(b *testing.B) {
+	protos := []struct {
+		name string
+		mk   func(n int) *consensus.Protocol[int]
+	}{
+		{name: "snapshot", mk: consensus.NewSnapshot[int]},
+		{name: "register", mk: consensus.NewRegister[int]},
+		{name: "linear", mk: consensus.NewLinear[int]},
+		{name: "cil-baseline", mk: consensus.NewCILBaseline[int]},
+	}
+	for _, proto := range protos {
+		for _, n := range []int{16, 128} {
+			b.Run(fmt.Sprintf("%s/n=%d", proto.name, n), func(b *testing.B) {
+				inputs := benchInputs(n)
+				var steps int64
+				for i := 0; i < b.N; i++ {
+					c := proto.mk(n)
+					res := benchRun(b, n, uint64(i)*2+1, uint64(i)*2+2, func(p *sim.Proc) int {
+						return c.Propose(p, inputs[p.ID()])
+					})
+					steps += res.TotalSteps
+				}
+				b.ReportMetric(float64(steps)/float64(b.N)/float64(n), "steps/proc")
+			})
+		}
+	}
+}
+
+// BenchmarkAdoptCommit is E9: adopt-commit cost vs value-universe size.
+func BenchmarkAdoptCommit(b *testing.B) {
+	const n = 16
+	b.Run("snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ac := adoptcommit.NewSnapshotAC[int](n)
+			benchRun(b, n, uint64(i)+1, uint64(i)+2, func(p *sim.Proc) int {
+				_, v := ac.Propose(p, p.ID(), p.ID()%2)
+				return v
+			})
+		}
+		b.ReportMetric(4, "steps/propose")
+	})
+	for _, bits := range []int{1, 8, 20} {
+		bits := bits
+		b.Run(fmt.Sprintf("register/bits=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ac := adoptcommit.NewRegisterAC[int](adoptcommit.NewDigitCD(adoptcommit.IdentityEncoder(bits)))
+				benchRun(b, n, uint64(i)+1, uint64(i)+2, func(p *sim.Proc) int {
+					_, v := ac.Propose(p, p.ID(), p.ID()%2)
+					return v
+				})
+			}
+			b.ReportMetric(float64(2*bits+3), "steps/propose")
+		})
+	}
+}
+
+// BenchmarkSchedules is E10: Algorithm 2 under each schedule family.
+func BenchmarkSchedules(b *testing.B) {
+	const n = 64
+	for _, kind := range sched.Kinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			inputs := benchInputs(n)
+			for i := 0; i < b.N; i++ {
+				c := core.NewSifter[int](n, core.SifterConfig{})
+				src := sched.New(kind, n, uint64(i)+7)
+				if _, _, _, err := sim.Collect(src, sim.Config{AlgSeed: uint64(i) + 3}, func(p *sim.Proc) int {
+					return c.Conciliate(p, inputs[p.ID()])
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblations is E11a: tuned vs constant write probabilities.
+func BenchmarkAblations(b *testing.B) {
+	const n = 1024
+	for _, tc := range []struct {
+		name  string
+		probs []float64
+	}{
+		{name: "tuned"},
+		{name: "constant-half", probs: []float64{0.5}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			inputs := benchInputs(n)
+			rounds := 2*11 + 8 // enough rounds for both schedules at n=1024
+			var lastSingle float64
+			for i := 0; i < b.N; i++ {
+				c := core.NewSifter[int](n, core.SifterConfig{
+					Rounds:         rounds,
+					Probs:          tc.probs,
+					TrackSurvivors: true,
+				})
+				benchRun(b, n, uint64(i)*2+1, uint64(i)*2+2, func(p *sim.Proc) int {
+					return c.Conciliate(p, inputs[p.ID()])
+				})
+				surv := c.SurvivorsPerRound()
+				first := rounds
+				for r, s := range surv {
+					if s <= 1 {
+						first = r + 1
+						break
+					}
+				}
+				lastSingle = float64(first)
+			}
+			b.ReportMetric(lastSingle, "rounds-to-1")
+		})
+	}
+}
+
+// BenchmarkTAS is E12: the sifting test-and-set.
+func BenchmarkTAS(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ts := tas.New(n, tas.Config{})
+				src := sched.NewRandom(n, xrand.New(uint64(i)+5))
+				wins, _, _, err := sim.Collect(src, sim.Config{AlgSeed: uint64(i) + 1}, func(p *sim.Proc) bool {
+					return ts.Acquire(p)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				winners := 0
+				for _, w := range wins {
+					if w {
+						winners++
+					}
+				}
+				if winners != 1 {
+					b.Fatalf("%d winners", winners)
+				}
+			}
+		})
+	}
+}

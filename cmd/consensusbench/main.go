@@ -1,0 +1,99 @@
+// Command consensusbench runs the paper-reproduction experiments E1-E12
+// and prints their tables.
+//
+// Usage:
+//
+//	consensusbench -list
+//	consensusbench -experiment E4 -trials 200 -format markdown
+//	consensusbench -all -quick
+//
+// Each experiment is deterministic in (-seed, -trials); see EXPERIMENTS.md
+// for the interpretation of every table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/oblivious-consensus/conciliator/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "consensusbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("consensusbench", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list experiments and exit")
+		expID   = fs.String("experiment", "", "experiment id(s) to run, comma-separated (E1..E16)")
+		all     = fs.Bool("all", false, "run every experiment")
+		trials  = fs.Int("trials", 0, "trials per configuration (0 = per-experiment default)")
+		seed    = fs.Uint64("seed", 0, "master seed (0 = default)")
+		quick   = fs.Bool("quick", false, "small sweeps for a fast smoke run")
+		format  = fs.String("format", "text", "output format: text, markdown, or tsv")
+		timings = fs.Bool("timings", false, "print wall-clock time per experiment")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Fprintf(out, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	var todo []experiment.Experiment
+	switch {
+	case *all:
+		todo = experiment.All()
+	case *expID != "":
+		for _, id := range strings.Split(*expID, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			e, ok := experiment.ByID(strings.ToUpper(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			todo = append(todo, e)
+		}
+		if len(todo) == 0 {
+			return fmt.Errorf("no experiment ids in %q", *expID)
+		}
+	default:
+		return fmt.Errorf("nothing to do: pass -experiment <id>, -all, or -list")
+	}
+
+	params := experiment.Params{Trials: *trials, Seed: *seed, Quick: *quick}
+	for _, e := range todo {
+		start := time.Now()
+		tables := e.Run(params)
+		for _, t := range tables {
+			switch *format {
+			case "markdown":
+				fmt.Fprintln(out, t.Markdown())
+			case "tsv":
+				fmt.Fprintf(out, "# %s: %s\n%s\n", t.ID, t.Title, t.TSV())
+			case "text":
+				fmt.Fprintln(out, t.Text())
+			default:
+				return fmt.Errorf("unknown format %q", *format)
+			}
+		}
+		if *timings {
+			fmt.Fprintf(out, "[%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range []string{"E1", "E7", "E14"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+	if !strings.Contains(out, "claim:") {
+		t.Error("list missing claims")
+	}
+}
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E3", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E3") || !strings.Contains(out, "log* n") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestLowercaseIDAccepted(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "e3", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormats(t *testing.T) {
+	for _, format := range []string{"text", "markdown", "tsv"} {
+		format := format
+		t.Run(format, func(t *testing.T) {
+			var b strings.Builder
+			if err := run([]string{"-experiment", "E6", "-quick", "-format", format}, &b); err != nil {
+				t.Fatal(err)
+			}
+			if b.Len() == 0 {
+				t.Fatal("empty output")
+			}
+		})
+	}
+}
+
+func TestMarkdownFormatShape(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E6", "-quick", "-format", "markdown"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "| n |") {
+		t.Errorf("markdown table header missing:\n%s", b.String())
+	}
+}
+
+func TestTimingsFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E6", "-quick", "-timings"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "took") {
+		t.Error("timings missing")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no action", args: nil},
+		{name: "unknown experiment", args: []string{"-experiment", "E99"}},
+		{name: "unknown format", args: []string{"-experiment", "E6", "-quick", "-format", "xml"}},
+		{name: "bad flag", args: []string{"-nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(tt.args, &b); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestCommaSeparatedExperiments(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E3, e6", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E3") || !strings.Contains(out, "E6") {
+		t.Errorf("expected both experiments in output:\n%s", out)
+	}
+}
+
+func TestCommaSeparatedEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", " , "}, &b); err == nil {
+		t.Error("expected error for empty id list")
+	}
+}

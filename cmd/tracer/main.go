@@ -1,0 +1,132 @@
+// Command tracer runs one conciliator execution and prints a
+// round-by-round trace of the surviving personae, making the sifting
+// process visible.
+//
+// Usage:
+//
+//	tracer -alg sifter -n 64 -algseed 3 -schedseed 9
+//	tracer -alg priority -n 256 -schedule split
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/oblivious-consensus/conciliator/internal/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracer", flag.ContinueOnError)
+	var (
+		alg       = fs.String("alg", "sifter", "algorithm: sifter, priority, or embedded")
+		n         = fs.Int("n", 64, "number of processes")
+		algSeed   = fs.Uint64("algseed", 1, "algorithm seed")
+		schedSeed = fs.Uint64("schedseed", 2, "adversary seed")
+		kindName  = fs.String("schedule", "random", "schedule family: round-robin, random, staggered, split, zipf, crash-half")
+		epsilon   = fs.Float64("epsilon", 0.5, "target disagreement probability")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("n must be positive")
+	}
+
+	var kind sched.Kind
+	for _, k := range sched.Kinds() {
+		if k.String() == *kindName {
+			kind = k
+		}
+	}
+	if kind == 0 {
+		return fmt.Errorf("unknown schedule %q", *kindName)
+	}
+
+	inputs := make([]int, *n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	src := sched.New(kind, *n, *schedSeed)
+	cfg := sim.Config{AlgSeed: *algSeed}
+
+	var (
+		survivors []int
+		outs      []int
+		finished  []bool
+		res       sim.Result
+		err       error
+		label     string
+	)
+	switch *alg {
+	case "sifter":
+		c := conciliator.NewSifter[int](*n, conciliator.SifterConfig{Epsilon: *epsilon, TrackSurvivors: true})
+		label = fmt.Sprintf("Algorithm 2 (sifter), R = ceil(loglog %d) + ceil(log_{4/3}(8/%.3g)) = %d", *n, *epsilon, c.Rounds())
+		outs, finished, res, err = sim.Collect(src, cfg, func(p *sim.Proc) int {
+			return c.Conciliate(p, inputs[p.ID()])
+		})
+		survivors = c.SurvivorsPerRound()
+	case "priority":
+		c := conciliator.NewPriority[int](*n, conciliator.PriorityConfig{Epsilon: *epsilon, TrackSurvivors: true})
+		label = fmt.Sprintf("Algorithm 1 (priority), R = log* %d + ceil(log 1/%.3g) + 1 = %d", *n, *epsilon, c.Rounds())
+		outs, finished, res, err = sim.Collect(src, cfg, func(p *sim.Proc) int {
+			return c.Conciliate(p, inputs[p.ID()])
+		})
+		survivors = c.SurvivorsPerRound()
+	case "embedded":
+		c := conciliator.NewEmbedded[int](*n, conciliator.EmbeddedConfig{})
+		label = fmt.Sprintf("Algorithm 3 (CIL + embedded sifter), inner rounds = %d", c.InnerRounds())
+		outs, finished, res, err = sim.Collect(src, cfg, func(p *sim.Proc) int {
+			return c.Conciliate(p, inputs[p.ID()])
+		})
+		if err == nil {
+			s, r, w := c.ExitCounts()
+			defer fmt.Fprintf(out, "exit paths: completed-sifter=%d proposal-read=%d proposal-write=%d\n", s, r, w)
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, label)
+	fmt.Fprintf(out, "n=%d schedule=%s algseed=%d schedseed=%d\n", *n, kind, *algSeed, *schedSeed)
+	fmt.Fprintf(out, "log* n = %d, ceil(loglog n) = %d\n\n", stats.LogStar(float64(*n)), stats.CeilLogLog(*n))
+
+	if len(survivors) > 0 {
+		fmt.Fprintln(out, "round  distinct personae")
+		for i, s := range survivors {
+			bar := ""
+			for b := 0; b < s && b < 64; b++ {
+				bar += "#"
+			}
+			fmt.Fprintf(out, "%5d  %6d  %s\n", i+1, s, bar)
+		}
+		fmt.Fprintln(out)
+	}
+
+	distinct := make(map[int]bool)
+	decided := 0
+	for i, o := range outs {
+		if finished[i] {
+			distinct[o] = true
+			decided++
+		}
+	}
+	fmt.Fprintf(out, "finished processes: %d/%d\n", decided, *n)
+	fmt.Fprintf(out, "distinct outputs:   %d (agreement: %v)\n", len(distinct), len(distinct) <= 1)
+	fmt.Fprintf(out, "steps: total=%d max-individual=%d\n", res.TotalSteps, res.MaxSteps())
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSifter(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alg", "sifter", "-n", "16"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Algorithm 2", "round  distinct personae", "finished processes: 16/16", "steps:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPriority(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alg", "priority", "-n", "8", "-epsilon", "0.25"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Algorithm 1") {
+		t.Errorf("output missing label:\n%s", b.String())
+	}
+}
+
+func TestRunEmbedded(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alg", "embedded", "-n", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Algorithm 3", "exit paths:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllScheduleNames(t *testing.T) {
+	for _, s := range []string{"round-robin", "random", "staggered", "split", "zipf", "crash-half"} {
+		var b strings.Builder
+		if err := run([]string{"-n", "8", "-schedule", s}, &b); err != nil {
+			t.Errorf("schedule %s: %v", s, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "bad algorithm", args: []string{"-alg", "nope"}},
+		{name: "bad schedule", args: []string{"-schedule", "nope"}},
+		{name: "bad n", args: []string{"-n", "0"}},
+		{name: "bad flag", args: []string{"-definitely-not-a-flag"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(tt.args, &b); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	render := func() string {
+		var b strings.Builder
+		if err := run([]string{"-n", "16", "-algseed", "5", "-schedseed", "6"}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render() != render() {
+		t.Fatal("tracer output not deterministic for fixed seeds")
+	}
+}

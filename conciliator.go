@@ -1,0 +1,331 @@
+// Package conciliator is the public API of this repository: randomized
+// shared-memory consensus against an oblivious adversary, implementing
+// James Aspnes, "Faster Randomized Consensus with an Oblivious Adversary"
+// (PODC 2012).
+//
+// The package exposes three consensus constructions (plus a pre-paper
+// baseline), each assembled from a conciliator — a weak consensus object
+// that guarantees termination and validity always, and agreement with
+// constant probability — alternating with adopt-commit objects that
+// detect agreement and make it safe to decide:
+//
+//   - ModelSnapshot: Algorithm 1, unit-cost snapshot model, O(log* n)
+//     expected individual steps (Corollary 1).
+//   - ModelRegister: Algorithm 2, plain multi-writer registers,
+//     O(log log n + adopt-commit) expected individual steps
+//     (Corollary 2).
+//   - ModelLinear: Algorithm 3, registers, same individual bound with
+//     O(n) expected total steps (Corollary 3).
+//   - ModelCILBaseline: the Chor–Israeli–Li conciliator alone, the
+//     pre-paper baseline with Theta(n) expected individual steps.
+//
+// # Quick start
+//
+//	inputs := []string{"red", "green", "blue", "blue"}
+//	res, err := conciliator.Solve(conciliator.ModelRegister, inputs)
+//	// res.Decided is one of the inputs; res.Values are all equal to it.
+//
+// Executions are simulations by default: a deterministic controlled
+// scheduler plays the oblivious adversary, so results are reproducible
+// given the two seeds. WithConcurrentExecution runs the processes as
+// free goroutines instead (the Go runtime schedules; same algorithm
+// code).
+package conciliator
+
+import (
+	"errors"
+	"fmt"
+
+	core "github.com/oblivious-consensus/conciliator/internal/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/consensus"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+// Proc is the handle protocol code receives for one process: its id, its
+// private deterministic random stream, and the step gate to the
+// adversary scheduler.
+type Proc = sim.Proc
+
+// Schedule names an oblivious-adversary schedule family.
+type Schedule = sched.Kind
+
+// Schedule families for WithSchedule.
+const (
+	ScheduleRoundRobin = sched.KindRoundRobin
+	ScheduleRandom     = sched.KindRandom
+	ScheduleStaggered  = sched.KindStaggered
+	ScheduleSplit      = sched.KindSplit
+	ScheduleZipf       = sched.KindZipf
+	ScheduleCrashHalf  = sched.KindCrashHalf
+)
+
+// Model selects a consensus construction.
+type Model int
+
+const (
+	// ModelSnapshot is Corollary 1: Algorithm 1 + snapshot adopt-commit.
+	ModelSnapshot Model = iota + 1
+	// ModelRegister is Corollary 2: Algorithm 2 + register adopt-commit.
+	ModelRegister
+	// ModelLinear is Corollary 3: Algorithm 3 + register adopt-commit.
+	ModelLinear
+	// ModelCILBaseline is the pre-paper Chor–Israeli–Li baseline.
+	ModelCILBaseline
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case ModelSnapshot:
+		return "snapshot"
+	case ModelRegister:
+		return "register"
+	case ModelLinear:
+		return "linear"
+	case ModelCILBaseline:
+		return "cil-baseline"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Models lists all available models.
+func Models() []Model {
+	return []Model{ModelSnapshot, ModelRegister, ModelLinear, ModelCILBaseline}
+}
+
+// ErrNoInputs is returned when Solve is called with an empty input slice.
+var ErrNoInputs = errors.New("conciliator: at least one input required")
+
+type options struct {
+	algSeed    uint64
+	schedSeed  uint64
+	schedule   Schedule
+	concurrent bool
+	maxSlots   int64
+}
+
+func defaultOptions() options {
+	return options{
+		algSeed:   1,
+		schedSeed: 2,
+		schedule:  ScheduleRandom,
+	}
+}
+
+// Option customizes Solve, RunConciliator, and Consensus.Run.
+type Option interface {
+	apply(*options)
+}
+
+type optionFunc func(*options)
+
+func (f optionFunc) apply(o *options) { f(o) }
+
+// WithAlgorithmSeed fixes the seed of the processes' random streams.
+func WithAlgorithmSeed(seed uint64) Option {
+	return optionFunc(func(o *options) { o.algSeed = seed })
+}
+
+// WithAdversarySeed fixes the seed of the adversary's schedule. Keeping
+// it independent of the algorithm seed is what makes the simulated
+// adversary oblivious.
+func WithAdversarySeed(seed uint64) Option {
+	return optionFunc(func(o *options) { o.schedSeed = seed })
+}
+
+// WithSchedule selects the adversary's schedule family (default
+// ScheduleRandom).
+func WithSchedule(s Schedule) Option {
+	return optionFunc(func(o *options) { o.schedule = s })
+}
+
+// WithConcurrentExecution runs processes as free goroutines instead of
+// under the deterministic controlled scheduler. Results are then not
+// reproducible, but the execution is a real concurrent Go program.
+func WithConcurrentExecution() Option {
+	return optionFunc(func(o *options) { o.concurrent = true })
+}
+
+// WithMaxSlots overrides the controlled scheduler's slot safety valve.
+func WithMaxSlots(slots int64) Option {
+	return optionFunc(func(o *options) { o.maxSlots = slots })
+}
+
+// Result reports one consensus execution.
+type Result[V comparable] struct {
+	// Values holds each process's decision; entries of unfinished
+	// (crashed) processes are meaningless and flagged in Finished.
+	Values []V
+	// Finished reports which processes ran to completion.
+	Finished []bool
+	// Decided is the common decision of the finished processes.
+	Decided V
+	// Steps[i] is the number of shared-memory operations process i took.
+	Steps []int64
+	// TotalSteps is the sum of Steps.
+	TotalSteps int64
+	// MaxSteps is the largest per-process step count.
+	MaxSteps int64
+	// MeanPhases is the average number of conciliator/adopt-commit
+	// phases per decided process.
+	MeanPhases float64
+}
+
+// Solve runs one consensus execution among len(inputs) processes, where
+// process i proposes inputs[i], and returns the common decision.
+func Solve[V comparable](model Model, inputs []V, opts ...Option) (Result[V], error) {
+	n := len(inputs)
+	if n == 0 {
+		return Result[V]{}, ErrNoInputs
+	}
+	c := NewConsensus[V](model, n)
+	return c.Run(inputs, opts...)
+}
+
+// Consensus is a single-use consensus object: each of the n processes
+// proposes exactly once, either through Run (simulated execution) or by
+// calling Propose from protocol code that already holds a *Proc.
+type Consensus[V comparable] struct {
+	n int
+	p *consensus.Protocol[V]
+}
+
+// NewConsensus builds a consensus object for n processes.
+func NewConsensus[V comparable](model Model, n int) *Consensus[V] {
+	var p *consensus.Protocol[V]
+	switch model {
+	case ModelSnapshot:
+		p = consensus.NewSnapshot[V](n)
+	case ModelRegister:
+		p = consensus.NewRegister[V](n)
+	case ModelLinear:
+		p = consensus.NewLinear[V](n)
+	case ModelCILBaseline:
+		p = consensus.NewCILBaseline[V](n)
+	default:
+		panic(fmt.Sprintf("conciliator: unknown model %d", int(model)))
+	}
+	return &Consensus[V]{n: n, p: p}
+}
+
+// Propose runs the protocol for process p with the given input. Use this
+// from custom process bodies; most callers want Run or Solve.
+func (c *Consensus[V]) Propose(p *Proc, input V) V {
+	return c.p.Propose(p, input)
+}
+
+// Run executes one full consensus among c's n processes with the given
+// inputs.
+func (c *Consensus[V]) Run(inputs []V, opts ...Option) (Result[V], error) {
+	if len(inputs) != c.n {
+		return Result[V]{}, fmt.Errorf("conciliator: %d inputs for %d processes", len(inputs), c.n)
+	}
+	outs, finished, res, err := execute(c.n, inputs, opts, func(p *Proc, input V) V {
+		return c.p.Propose(p, input)
+	})
+	if err != nil {
+		return Result[V]{}, err
+	}
+	out := Result[V]{
+		Values:     outs,
+		Finished:   finished,
+		Steps:      res.Steps,
+		TotalSteps: res.TotalSteps,
+		MaxSteps:   res.MaxSteps(),
+		MeanPhases: c.p.MeanPhases(),
+	}
+	for i, f := range finished {
+		if f {
+			out.Decided = outs[i]
+			break
+		}
+	}
+	return out, nil
+}
+
+// ConciliatorResult reports one conciliator (weak consensus) execution.
+type ConciliatorResult[V comparable] struct {
+	// Values holds each finished process's output.
+	Values []V
+	// Finished reports which processes ran to completion.
+	Finished []bool
+	// Agreed reports whether all finished outputs were equal. Unlike
+	// consensus, a conciliator may legitimately report false; the paper
+	// bounds how often.
+	Agreed bool
+	// Steps and TotalSteps mirror Result.
+	Steps      []int64
+	TotalSteps int64
+}
+
+// RunConciliator runs a single conciliator (not full consensus) of the
+// given model among len(inputs) processes: termination and validity are
+// guaranteed; agreement holds with the paper's per-model probability
+// (1-eps for snapshot/register with eps = 1/2 here, 1/8 for linear, 3/4
+// for the CIL baseline).
+func RunConciliator[V comparable](model Model, inputs []V, opts ...Option) (ConciliatorResult[V], error) {
+	n := len(inputs)
+	if n == 0 {
+		return ConciliatorResult[V]{}, ErrNoInputs
+	}
+	var c core.Interface[V]
+	switch model {
+	case ModelSnapshot:
+		c = core.NewPriority[V](n, core.PriorityConfig{})
+	case ModelRegister:
+		c = core.NewSifter[V](n, core.SifterConfig{})
+	case ModelLinear:
+		c = core.NewEmbedded[V](n, core.EmbeddedConfig{})
+	case ModelCILBaseline:
+		c = core.NewCIL[V](n, core.CILConfig{})
+	default:
+		panic(fmt.Sprintf("conciliator: unknown model %d", int(model)))
+	}
+	outs, finished, res, err := execute(n, inputs, opts, func(p *Proc, input V) V {
+		return c.Conciliate(p, input)
+	})
+	if err != nil {
+		return ConciliatorResult[V]{}, err
+	}
+	out := ConciliatorResult[V]{
+		Values:     outs,
+		Finished:   finished,
+		Agreed:     true,
+		Steps:      res.Steps,
+		TotalSteps: res.TotalSteps,
+	}
+	first := true
+	var v V
+	for i, o := range outs {
+		if !finished[i] {
+			continue
+		}
+		if first {
+			v, first = o, false
+		} else if o != v {
+			out.Agreed = false
+		}
+	}
+	return out, nil
+}
+
+// execute runs one body per process under the configured execution mode.
+func execute[V comparable](n int, inputs []V, opts []Option, body func(p *Proc, input V) V) ([]V, []bool, sim.Result, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	cfg := sim.Config{AlgSeed: o.algSeed, MaxSlots: o.maxSlots}
+	if o.concurrent {
+		outs, res := sim.CollectConcurrent(n, cfg, func(p *Proc) V {
+			return body(p, inputs[p.ID()])
+		})
+		return outs, res.Finished, res, nil
+	}
+	src := sched.New(o.schedule, n, o.schedSeed)
+	return sim.Collect(src, cfg, func(p *Proc) V {
+		return body(p, inputs[p.ID()])
+	})
+}

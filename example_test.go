@@ -1,0 +1,74 @@
+package conciliator_test
+
+import (
+	"fmt"
+
+	conciliator "github.com/oblivious-consensus/conciliator"
+)
+
+// Demonstrates running a bare conciliator: termination and validity are
+// guaranteed, agreement only probabilistic (here it succeeds).
+func ExampleRunConciliator() {
+	inputs := []int{3, 1, 4, 1, 5}
+	res, err := conciliator.RunConciliator(conciliator.ModelSnapshot, inputs,
+		conciliator.WithAlgorithmSeed(1),
+		conciliator.WithAdversarySeed(2))
+	if err != nil {
+		panic(err)
+	}
+	valid := true
+	set := map[int]bool{3: true, 1: true, 4: true, 5: true}
+	for _, v := range res.Values {
+		if !set[v] {
+			valid = false
+		}
+	}
+	fmt.Println("valid:", valid, "agreed:", res.Agreed)
+	// Output: valid: true agreed: true
+}
+
+// Demonstrates reusing a Consensus object from custom orchestration: the
+// object is single-use, one Propose per process, run here through Run.
+func ExampleConsensus_Run() {
+	c := conciliator.NewConsensus[string](conciliator.ModelLinear, 3)
+	res, err := c.Run([]string{"alpha", "beta", "gamma"},
+		conciliator.WithAlgorithmSeed(7),
+		conciliator.WithAdversarySeed(8),
+		conciliator.WithSchedule(conciliator.ScheduleRoundRobin))
+	if err != nil {
+		panic(err)
+	}
+	agreed := true
+	for i, v := range res.Values {
+		if res.Finished[i] && v != res.Decided {
+			agreed = false
+		}
+	}
+	fmt.Println("agreed:", agreed)
+	// Output: agreed: true
+}
+
+// Demonstrates the crash-half adversary: survivors still decide and
+// agree.
+func ExampleWithSchedule() {
+	inputs := []int{10, 20, 30, 40, 50, 60, 70, 80}
+	res, err := conciliator.Solve(conciliator.ModelRegister, inputs,
+		conciliator.WithSchedule(conciliator.ScheduleCrashHalf),
+		conciliator.WithAlgorithmSeed(5),
+		conciliator.WithAdversarySeed(6))
+	if err != nil {
+		panic(err)
+	}
+	finished, agreed := 0, true
+	for i, v := range res.Values {
+		if !res.Finished[i] {
+			continue
+		}
+		finished++
+		if v != res.Decided {
+			agreed = false
+		}
+	}
+	fmt.Println("survivors agreed:", agreed, "- at least half finished:", finished >= len(inputs)/2)
+	// Output: survivors agreed: true - at least half finished: true
+}

@@ -1,0 +1,78 @@
+// Adversary study: how the conciliators behave under different oblivious
+// schedule families. The paper's guarantees are schedule-independent (the
+// adversary fixes the schedule before seeing any coin flips), and this
+// example measures exactly that: agreement rates stay above the paper's
+// floors under round-robin, random, staggered, split, Zipf-skewed, and
+// crash-half adversaries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	conciliator "github.com/oblivious-consensus/conciliator"
+)
+
+const (
+	n      = 48
+	trials = 60
+)
+
+func main() {
+	schedules := []conciliator.Schedule{
+		conciliator.ScheduleRoundRobin,
+		conciliator.ScheduleRandom,
+		conciliator.ScheduleStaggered,
+		conciliator.ScheduleSplit,
+		conciliator.ScheduleZipf,
+		conciliator.ScheduleCrashHalf,
+	}
+	models := []conciliator.Model{
+		conciliator.ModelSnapshot, conciliator.ModelRegister, conciliator.ModelLinear,
+	}
+	floors := map[conciliator.Model]float64{
+		conciliator.ModelSnapshot: 0.5,       // Theorem 1, eps = 1/2
+		conciliator.ModelRegister: 0.5,       // Theorem 2, eps = 1/2
+		conciliator.ModelLinear:   1.0 / 8.0, // Theorem 3
+	}
+
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+
+	fmt.Printf("%-12s", "schedule")
+	for _, m := range models {
+		fmt.Printf("  %-18s", m)
+	}
+	fmt.Println()
+
+	for _, s := range schedules {
+		fmt.Printf("%-12s", s)
+		for _, m := range models {
+			agreed := 0
+			for t := 0; t < trials; t++ {
+				res, err := conciliator.RunConciliator(m, inputs,
+					conciliator.WithSchedule(s),
+					conciliator.WithAlgorithmSeed(uint64(2*t+1)),
+					conciliator.WithAdversarySeed(uint64(3*t+2)),
+				)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if res.Agreed {
+					agreed++
+				}
+			}
+			rate := float64(agreed) / trials
+			marker := "ok"
+			if rate < floors[m] {
+				marker = "BELOW FLOOR"
+			}
+			fmt.Printf("  %.2f (floor %.2f) %-2s", rate, floors[m], marker)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nConciliator guarantees are per-execution probabilistic; the floors")
+	fmt.Println("are the paper's bounds (Theorems 1-3) and hold for every schedule family.")
+}

@@ -1,0 +1,36 @@
+// Quickstart: eight processes with conflicting inputs reach consensus in
+// each of the paper's models, and we look at what it cost them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	conciliator "github.com/oblivious-consensus/conciliator"
+)
+
+func main() {
+	// Eight processes propose conflicting values.
+	inputs := []string{"red", "green", "blue", "red", "cyan", "green", "blue", "red"}
+
+	for _, model := range conciliator.Models() {
+		res, err := conciliator.Solve(model, inputs,
+			conciliator.WithAlgorithmSeed(42),
+			conciliator.WithAdversarySeed(7),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s decided %-6q  steps: total=%-4d worst-process=%-3d phases=%.1f\n",
+			model.String(), res.Decided, res.TotalSteps, res.MaxSteps, res.MeanPhases)
+	}
+
+	// A conciliator alone is weaker: it may fail to agree (with bounded
+	// probability), but it always terminates with a valid value.
+	res, err := conciliator.RunConciliator(conciliator.ModelRegister, inputs,
+		conciliator.WithAlgorithmSeed(42), conciliator.WithAdversarySeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbare conciliator: agreed=%v outputs=%v\n", res.Agreed, res.Values)
+}

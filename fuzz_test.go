@@ -1,0 +1,67 @@
+package conciliator_test
+
+import (
+	"testing"
+
+	conciliator "github.com/oblivious-consensus/conciliator"
+)
+
+// FuzzSolveRegister drives full register-model consensus with fuzzed
+// process counts, seeds, and input patterns, asserting the absolute
+// guarantees (termination within the slot budget, validity, agreement)
+// on every execution.
+func FuzzSolveRegister(f *testing.F) {
+	f.Add(uint8(4), uint64(1), uint64(2), uint16(0b1010))
+	f.Add(uint8(9), uint64(42), uint64(7), uint16(0xffff))
+	f.Add(uint8(1), uint64(0), uint64(0), uint16(1))
+	f.Fuzz(func(t *testing.T, rawN uint8, algSeed, schedSeed uint64, pattern uint16) {
+		n := int(rawN%16) + 1
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = int(pattern>>uint(i%16)) & 1
+		}
+		res, err := conciliator.Solve(conciliator.ModelRegister, inputs,
+			conciliator.WithAlgorithmSeed(algSeed),
+			conciliator.WithAdversarySeed(schedSeed))
+		if err != nil {
+			t.Fatalf("solve failed: %v", err)
+		}
+		if res.Decided != 0 && res.Decided != 1 {
+			t.Fatalf("validity violated: decided %d", res.Decided)
+		}
+		for i, v := range res.Values {
+			if res.Finished[i] && v != res.Decided {
+				t.Fatalf("agreement violated: process %d decided %d vs %d", i, v, res.Decided)
+			}
+		}
+	})
+}
+
+// FuzzConciliatorLinear fuzzes the Algorithm 3 conciliator alone:
+// termination and validity must hold for every seed pair, even though
+// agreement is only probabilistic.
+func FuzzConciliatorLinear(f *testing.F) {
+	f.Add(uint8(6), uint64(3), uint64(4))
+	f.Add(uint8(2), uint64(9), uint64(1))
+	f.Fuzz(func(t *testing.T, rawN uint8, algSeed, schedSeed uint64) {
+		n := int(rawN%16) + 1
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = i * 10
+		}
+		res, err := conciliator.RunConciliator(conciliator.ModelLinear, inputs,
+			conciliator.WithAlgorithmSeed(algSeed),
+			conciliator.WithAdversarySeed(schedSeed))
+		if err != nil {
+			t.Fatalf("conciliator failed: %v", err)
+		}
+		for i, v := range res.Values {
+			if !res.Finished[i] {
+				t.Fatalf("process %d did not terminate", i)
+			}
+			if v%10 != 0 || v < 0 || v >= n*10 {
+				t.Fatalf("validity violated: output %d", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module github.com/oblivious-consensus/conciliator
+
+go 1.22

@@ -1,0 +1,199 @@
+package conciliator_test
+
+// Integration tests: end-to-end flows across models, schedules, crash
+// patterns, and value types, exercising the whole stack (facade ->
+// consensus -> conciliators -> adopt-commit -> memory -> sim -> sched)
+// in one place. The statistical checks use wide margins so they are
+// stable across platforms; the exact bounds are measured by the
+// experiment harness instead.
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	conciliator "github.com/oblivious-consensus/conciliator"
+)
+
+func TestIntegrationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration matrix skipped in -short mode")
+	}
+	schedules := []conciliator.Schedule{
+		conciliator.ScheduleRoundRobin, conciliator.ScheduleRandom,
+		conciliator.ScheduleStaggered, conciliator.ScheduleSplit,
+		conciliator.ScheduleZipf, conciliator.ScheduleCrashHalf,
+	}
+	for _, model := range conciliator.Models() {
+		for _, schedule := range schedules {
+			model, schedule := model, schedule
+			t.Run(fmt.Sprintf("%v/%v", model, schedule), func(t *testing.T) {
+				t.Parallel()
+				for trial := 0; trial < 5; trial++ {
+					n := 3 + trial*7
+					inputs := make([]int, n)
+					for i := range inputs {
+						inputs[i] = i % 5
+					}
+					res, err := conciliator.Solve(model, inputs,
+						conciliator.WithSchedule(schedule),
+						conciliator.WithAlgorithmSeed(uint64(trial)*100+1),
+						conciliator.WithAdversarySeed(uint64(trial)*100+2),
+					)
+					if err != nil {
+						t.Fatal(err)
+					}
+					finished := 0
+					for i, v := range res.Values {
+						if !res.Finished[i] {
+							continue
+						}
+						finished++
+						if v != res.Decided {
+							t.Fatalf("agreement violated: %d vs %d", v, res.Decided)
+						}
+						if v < 0 || v >= 5 {
+							t.Fatalf("validity violated: %d", v)
+						}
+					}
+					if finished == 0 {
+						t.Fatal("no process finished")
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestIntegrationQuickProperty(t *testing.T) {
+	// Property-based end-to-end: any (n, seed pair, binary inputs)
+	// yields valid agreement.
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(func(rawN uint8, algSeed, schedSeed uint64, pattern uint16) bool {
+		n := int(rawN%12) + 2
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = int(pattern>>uint(i%16)) & 1
+		}
+		res, err := conciliator.Solve(conciliator.ModelRegister, inputs,
+			conciliator.WithAlgorithmSeed(algSeed),
+			conciliator.WithAdversarySeed(schedSeed))
+		if err != nil {
+			return false
+		}
+		if res.Decided != 0 && res.Decided != 1 {
+			return false
+		}
+		for i, v := range res.Values {
+			if res.Finished[i] && v != res.Decided {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrationLargeN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n run skipped in -short mode")
+	}
+	const n = 2048
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	res, err := conciliator.Solve(conciliator.ModelSnapshot, inputs,
+		conciliator.WithAlgorithmSeed(9), conciliator.WithAdversarySeed(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Values {
+		if res.Finished[i] && v != res.Decided {
+			t.Fatal("agreement violated at n=2048")
+		}
+	}
+	// O(log* n) expected individual steps: even the slowest process
+	// should be far below n.
+	if res.MaxSteps > 200 {
+		t.Fatalf("worst process took %d steps at n=%d; expected polylog", res.MaxSteps, n)
+	}
+}
+
+func TestIntegrationLinearTotalWorkLargeN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n run skipped in -short mode")
+	}
+	const n = 2048
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	res, err := conciliator.Solve(conciliator.ModelLinear, inputs,
+		conciliator.WithAlgorithmSeed(11), conciliator.WithAdversarySeed(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 3 + binary AC: total work stays linear-ish in n. Use a
+	// generous constant (the adopt-commit hash detector costs ~131 steps
+	// per propose, paid once per process per phase).
+	if perProc := float64(res.TotalSteps) / n; perProc > 400 {
+		t.Fatalf("total steps per process %v; expected bounded constant", perProc)
+	}
+}
+
+func TestIntegrationStringCommands(t *testing.T) {
+	cmds := []string{"put a=1", "put b=2", "del a", "put a=3", "get b"}
+	res, err := conciliator.Solve(conciliator.ModelRegister, cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cmds {
+		if c == res.Decided {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("decided %q not a proposed command", res.Decided)
+	}
+}
+
+func TestIntegrationStructValues(t *testing.T) {
+	type command struct {
+		Op  string
+		Key int
+	}
+	inputs := []command{{"put", 1}, {"del", 2}, {"put", 3}, {"get", 1}}
+	res, err := conciliator.Solve(conciliator.ModelSnapshot, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := false
+	for _, in := range inputs {
+		if in == res.Decided {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("decided %+v not an input", res.Decided)
+	}
+}
+
+func TestIntegrationRepeatedSolvesIndependent(t *testing.T) {
+	// Consensus objects are single-use; Solve must build fresh state
+	// each time and never leak agreement across runs.
+	for i := 0; i < 10; i++ {
+		inputs := []int{i, i + 1, i + 2}
+		res, err := conciliator.Solve(conciliator.ModelLinear, inputs,
+			conciliator.WithAlgorithmSeed(uint64(i)),
+			conciliator.WithAdversarySeed(uint64(i)+77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decided < i || res.Decided > i+2 {
+			t.Fatalf("run %d decided %d", i, res.Decided)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Package adoptcommit implements adopt-commit objects, the
+// agreement-detection half of the paper's consensus recipe (Section 1.2):
+// conciliators create agreement with constant probability, adopt-commit
+// objects detect it and let processes decide safely.
+//
+// An adopt-commit object supports a single Propose(v) operation per
+// process returning (commit, v') or (adopt, v') subject to:
+//
+//   - Termination: every Propose finishes in a bounded number of steps.
+//   - Validity: v' is the input of some Propose.
+//   - Convergence: if all inputs equal v, every Propose returns
+//     (commit, v).
+//   - Coherence: if some Propose returns (commit, v), every Propose
+//     returns (commit, v) or (adopt, v).
+//
+// All implementations here additionally guarantee the property Theorem 3's
+// validity argument relies on: (adopt, v) is returned only when two
+// different input values were actually proposed ("adopt implies
+// conflict").
+//
+// Two implementations are provided, matching the two models in the paper:
+// SnapshotAC uses O(1) unit-cost snapshot operations (Gafni-style, the
+// object behind Corollary 1), and RegisterAC uses a proposal register plus
+// a conflict detector (the modular decomposition of Aspnes–Ellen, the
+// object behind Corollaries 2 and 3; see DESIGN.md for the cost
+// substitution).
+package adoptcommit
+
+import "github.com/oblivious-consensus/conciliator/internal/memory"
+
+// Decision is the tag of an adopt-commit outcome.
+type Decision int
+
+const (
+	// Adopt instructs the caller to carry v' into the next phase without
+	// deciding.
+	Adopt Decision = iota + 1
+	// Commit instructs the caller to decide v' immediately.
+	Commit
+)
+
+// String returns the lower-case tag name used in traces.
+func (d Decision) String() string {
+	switch d {
+	case Adopt:
+		return "adopt"
+	case Commit:
+		return "commit"
+	default:
+		return "invalid"
+	}
+}
+
+// Object is a single-use adopt-commit object: each process calls Propose
+// at most once.
+type Object[V comparable] interface {
+	// Propose runs the adopt-commit protocol for process pid with input
+	// v. Implementations that do not need process identities (the
+	// register-based ones, matching the paper's anonymous objects) ignore
+	// pid.
+	Propose(ctx memory.Context, pid int, v V) (Decision, V)
+
+	// StepBound returns an upper bound on the number of shared-memory
+	// steps one Propose costs, used by the experiment harness.
+	StepBound() int
+}

@@ -1,0 +1,183 @@
+package adoptcommit
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+func TestFlagsCDValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k < 2")
+		}
+	}()
+	NewFlagsCD(1)
+}
+
+func TestFlagsCDAllSameOK(t *testing.T) {
+	cd := NewFlagsCD(4)
+	for i := 0; i < 5; i++ {
+		if !cd.Check(memory.Free, 2) {
+			t.Fatal("same-value check reported conflict")
+		}
+	}
+}
+
+func TestFlagsCDSequentialConflict(t *testing.T) {
+	cd := NewFlagsCD(3)
+	if !cd.Check(memory.Free, 0) {
+		t.Fatal("first check conflicted")
+	}
+	if cd.Check(memory.Free, 1) {
+		t.Fatal("second check with different value passed")
+	}
+}
+
+func TestFlagsCDNoTwoDifferentOKsExhaustive(t *testing.T) {
+	// Model check the two-process, two-distinct-values case over all
+	// interleavings of the k steps each check takes.
+	for _, k := range []int{2, 3} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			counts := []int{k, k}
+			for _, slots := range sched.AllInterleavings(counts) {
+				cd := NewFlagsCD(k)
+				oks, finished, _, err := sim.Collect(sched.NewExplicit(2, slots), sim.Config{AlgSeed: 1}, func(p *sim.Proc) bool {
+					return cd.Check(p, p.ID()) // process i checks value i
+				})
+				if err != nil {
+					t.Fatalf("schedule %v: %v", slots, err)
+				}
+				if !finished[0] || !finished[1] {
+					t.Fatalf("schedule %v: processes did not finish", slots)
+				}
+				if oks[0] && oks[1] {
+					t.Fatalf("schedule %v: two different values both passed", slots)
+				}
+			}
+		})
+	}
+}
+
+func TestFlagsCDSameValueConcurrentAlwaysOK(t *testing.T) {
+	for _, slots := range sched.AllInterleavings([]int{2, 2}) {
+		cd := NewFlagsCD(2)
+		oks, _, _, err := sim.Collect(sched.NewExplicit(2, slots), sim.Config{AlgSeed: 1}, func(p *sim.Proc) bool {
+			return cd.Check(p, 1)
+		})
+		if err != nil {
+			t.Fatalf("schedule %v: %v", slots, err)
+		}
+		if !oks[0] || !oks[1] {
+			t.Fatalf("schedule %v: same-value checks conflicted", slots)
+		}
+	}
+}
+
+func TestDigitCDEncoderValidation(t *testing.T) {
+	for _, bits := range []int{0, 65, -1} {
+		bits := bits
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bits=%d: expected panic", bits)
+				}
+			}()
+			NewDigitCD(Encoder[int]{Bits: bits, Encode: func(v int) uint64 { return uint64(v) }})
+		}()
+	}
+}
+
+func TestDigitCDOverflowPanics(t *testing.T) {
+	cd := NewDigitCD(IdentityEncoder(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-width code")
+		}
+	}()
+	cd.Check(memory.Free, 4)
+}
+
+func TestDigitCDSequential(t *testing.T) {
+	cd := NewDigitCD(IdentityEncoder(4))
+	if !cd.Check(memory.Free, 5) {
+		t.Fatal("first check conflicted")
+	}
+	if !cd.Check(memory.Free, 5) {
+		t.Fatal("repeat of same value conflicted")
+	}
+	if cd.Check(memory.Free, 9) {
+		t.Fatal("different value passed after 5")
+	}
+}
+
+func TestDigitCDNoTwoDifferentOKsExhaustive(t *testing.T) {
+	// Two processes, values differing in one or several digits; steps per
+	// check = 2*bits.
+	const bits = 2
+	pairs := [][2]int{{0, 1}, {1, 2}, {0, 3}, {2, 3}}
+	for _, pair := range pairs {
+		pair := pair
+		t.Run(fmt.Sprintf("values %v", pair), func(t *testing.T) {
+			for _, slots := range sched.AllInterleavings([]int{2 * bits, 2 * bits}) {
+				cd := NewDigitCD(IdentityEncoder(bits))
+				oks, _, _, err := sim.Collect(sched.NewExplicit(2, slots), sim.Config{AlgSeed: 1}, func(p *sim.Proc) bool {
+					return cd.Check(p, pair[p.ID()])
+				})
+				if err != nil {
+					t.Fatalf("schedule %v: %v", slots, err)
+				}
+				if oks[0] && oks[1] {
+					t.Fatalf("schedule %v values %v: both passed", slots, pair)
+				}
+			}
+		})
+	}
+}
+
+func TestDigitCDCostScalesWithBits(t *testing.T) {
+	for _, bits := range []int{1, 8, 16, 64} {
+		cd := NewDigitCD(Encoder[uint64]{Bits: bits, Encode: func(v uint64) uint64 { return v }})
+		ctx := &countingCtx{}
+		cd.Check(ctx, 0)
+		if ctx.steps != 2*bits {
+			t.Errorf("bits=%d: check cost %d, want %d", bits, ctx.steps, 2*bits)
+		}
+		if cd.StepBound() != 2*bits {
+			t.Errorf("bits=%d: StepBound %d", bits, cd.StepBound())
+		}
+	}
+}
+
+func TestHashEncoderDeterministicAndSpread(t *testing.T) {
+	enc := HashEncoder[string]()
+	if enc.Bits != 64 {
+		t.Fatalf("Bits = %d", enc.Bits)
+	}
+	if enc.Encode("x") != enc.Encode("x") {
+		t.Fatal("hash encoder not deterministic")
+	}
+	if err := quick.Check(func(a, b string) bool {
+		if a == b {
+			return enc.Encode(a) == enc.Encode(b)
+		}
+		return enc.Encode(a) != enc.Encode(b) // collision: astronomically unlikely
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityEncoder(t *testing.T) {
+	enc := IdentityEncoder(8)
+	if enc.Bits != 8 {
+		t.Fatalf("Bits = %d", enc.Bits)
+	}
+	if enc.Encode(200) != 200 {
+		t.Fatal("identity encoder mangled value")
+	}
+}

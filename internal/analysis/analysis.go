@@ -1,0 +1,134 @@
+// Package analysis computes the exact combinatorial quantities behind the
+// paper's proofs, so the experiments can compare simulation not only
+// against the paper's (deliberately loose) bounds but against the exact
+// expectations where they are known.
+//
+//   - Lemma 1's survival argument is a left-to-right-maxima count: when m
+//     personae are written one at a time and each survivor must be the
+//     maximum-priority persona of its prefix view, the expected number of
+//     survivors of a round with nested single-increment views is exactly
+//     the expected number of left-to-right maxima of a uniform random
+//     permutation, H_m (the m-th harmonic number), with distribution given
+//     by unsigned Stirling numbers of the first kind (Rényi 1962).
+//   - Lemma 2's recurrence x_{i+1} = p x_i + 1/p, optimized at
+//     p = 1/sqrt(x_i), drives Algorithm 2; ExactSifterRecurrence iterates
+//     it without the closed-form rounding of equation (2).
+package analysis
+
+import "math"
+
+// Harmonic returns the n-th harmonic number H_n = 1 + 1/2 + ... + 1/n.
+// H_0 = 0.
+func Harmonic(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// ExpectedLTRMaxima returns the expected number of left-to-right maxima
+// of a uniform random permutation of m elements, which is exactly H_m.
+// This is the per-round survivor expectation for Algorithm 1 in the
+// worst nesting of views (each view one element larger than the last).
+func ExpectedLTRMaxima(m int) float64 { return Harmonic(m) }
+
+// LTRMaximaDistribution returns P[#left-to-right maxima = k] for a
+// uniform random permutation of m elements, for k = 0..m. The count
+// follows the unsigned Stirling numbers of the first kind:
+// P[K = k] = c(m, k) / m!. Computed by the standard recurrence
+// c(m, k) = c(m-1, k-1) + (m-1) c(m-1, k), normalized incrementally to
+// stay in floating range. m must be at most a few hundred.
+func LTRMaximaDistribution(m int) []float64 {
+	if m < 0 {
+		return nil
+	}
+	// p[m][k] with p normalized: p(m,k) = c(m,k)/m!.
+	// Recurrence in normalized form:
+	// p(m, k) = p(m-1, k-1)/m + (m-1)/m * p(m-1, k).
+	prev := []float64{1} // m = 0: empty permutation has 0 maxima w.p. 1
+	for mm := 1; mm <= m; mm++ {
+		cur := make([]float64, mm+1)
+		for k := 0; k <= mm; k++ {
+			var fromNew, fromOld float64
+			if k >= 1 && k-1 < len(prev) {
+				fromNew = prev[k-1] / float64(mm)
+			}
+			if k < len(prev) {
+				fromOld = prev[k] * float64(mm-1) / float64(mm)
+			}
+			cur[k] = fromNew + fromOld
+		}
+		prev = cur
+	}
+	return prev
+}
+
+// ExactSifterRecurrence iterates the Lemma 2 recurrence with the paper's
+// p_i choices: x_{i+1} = p_{i+1} x_i + 1/p_{i+1} with p_{i+1} =
+// 1/sqrt(x_i) while x_i is large, switching to the (1 - p + p^2) = 3/4
+// contraction once x_i <= 8 (the Lemma 4 regime). It returns the bound
+// sequence x_0..x_rounds.
+func ExactSifterRecurrence(n, rounds int) []float64 {
+	xs := make([]float64, rounds+1)
+	xs[0] = float64(n - 1)
+	for i := 0; i < rounds; i++ {
+		x := xs[i]
+		if x <= 0 {
+			xs[i+1] = 0
+			continue
+		}
+		if x > 8 {
+			p := 1 / math.Sqrt(x)
+			xs[i+1] = p*x + 1/p // = 2 sqrt(x)
+			continue
+		}
+		xs[i+1] = x * 0.75
+	}
+	return xs
+}
+
+// PriorityIteratedBound iterates Lemma 1's f(x) = min(ln(x+1), x/2) and
+// returns the sequence f^(0)(n-1) .. f^(rounds)(n-1). It duplicates
+// stats.PriorityDecayBound but exposes the whole trajectory, which the
+// analysis tests cross-check against the closed form.
+func PriorityIteratedBound(n, rounds int) []float64 {
+	xs := make([]float64, rounds+1)
+	xs[0] = float64(n - 1)
+	for i := 0; i < rounds; i++ {
+		x := xs[i]
+		xs[i+1] = math.Min(math.Log(x+1), x/2)
+	}
+	return xs
+}
+
+// DuplicateProbability returns the union-bound probability that any two
+// of m personae share a priority in any of rounds draws from
+// {1..rangeSize}: rounds * C(m,2) / rangeSize — the paper's Pr[D]
+// calculation, which its priority range keeps below epsilon/2.
+func DuplicateProbability(m, rounds int, rangeSize uint64) float64 {
+	if rangeSize == 0 {
+		return 1
+	}
+	pairs := float64(m) * float64(m-1) / 2
+	p := float64(rounds) * pairs / float64(rangeSize)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// CILOverwriteBound returns the paper's Section 4 bound on the
+// probability that some process overwrites the first proposal in the CIL
+// conciliator: (n-1)/(4n) < 1/4.
+func CILOverwriteBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n-1) / (4 * float64(n))
+}
+
+// CombineAgreementFloor returns the Theorem 3 combine-stage agreement
+// floor: both inner conciliators unique (>= 1/2) times coins aligned
+// (>= 1/4) = 1/8.
+func CombineAgreementFloor() float64 { return 1.0 / 8 }

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/oblivious-consensus/conciliator/internal/stats"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+func TestHarmonic(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {1, 1}, {2, 1.5}, {4, 25.0 / 12},
+	}
+	for _, tt := range tests {
+		if got := Harmonic(tt.n); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+	// H_n ~ ln n + gamma.
+	if got := Harmonic(100000); math.Abs(got-(math.Log(100000)+0.5772156649)) > 1e-4 {
+		t.Errorf("Harmonic(1e5) = %v", got)
+	}
+}
+
+func TestLTRMaximaDistributionSmall(t *testing.T) {
+	// m=3: permutations and their LTR maxima counts:
+	// 123:3  132:2  213:2  231:2  312:1  321:1
+	// P[1]=2/6, P[2]=3/6, P[3]=1/6.
+	d := LTRMaximaDistribution(3)
+	want := []float64{0, 2.0 / 6, 3.0 / 6, 1.0 / 6}
+	if len(d) != 4 {
+		t.Fatalf("len = %d", len(d))
+	}
+	for k := range want {
+		if math.Abs(d[k]-want[k]) > 1e-12 {
+			t.Errorf("P[K=%d] = %v, want %v", k, d[k], want[k])
+		}
+	}
+}
+
+func TestLTRMaximaDistributionProperties(t *testing.T) {
+	for _, m := range []int{1, 2, 5, 20, 100} {
+		d := LTRMaximaDistribution(m)
+		sum, mean := 0.0, 0.0
+		for k, p := range d {
+			if p < -1e-15 {
+				t.Fatalf("m=%d: negative probability at k=%d", m, k)
+			}
+			sum += p
+			mean += float64(k) * p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("m=%d: probabilities sum to %v", m, sum)
+		}
+		if math.Abs(mean-Harmonic(m)) > 1e-9 {
+			t.Fatalf("m=%d: mean %v != H_m %v", m, mean, Harmonic(m))
+		}
+	}
+	if got := LTRMaximaDistribution(-1); got != nil {
+		t.Fatal("negative m should yield nil")
+	}
+}
+
+func TestLTRMaximaMatchesSimulation(t *testing.T) {
+	// Empirical check of the Rényi distribution: count LTR maxima of
+	// random permutations.
+	const m, trials = 8, 200000
+	rng := xrand.New(7)
+	counts := make([]int, m+1)
+	for i := 0; i < trials; i++ {
+		perm := rng.Perm(m)
+		maxSoFar, k := -1, 0
+		for _, v := range perm {
+			if v > maxSoFar {
+				maxSoFar = v
+				k++
+			}
+		}
+		counts[k]++
+	}
+	d := LTRMaximaDistribution(m)
+	for k := 1; k <= m; k++ {
+		got := float64(counts[k]) / trials
+		if math.Abs(got-d[k]) > 0.01 {
+			t.Errorf("P[K=%d]: simulated %v, exact %v", k, got, d[k])
+		}
+	}
+}
+
+func TestExactSifterRecurrence(t *testing.T) {
+	xs := ExactSifterRecurrence(257, 6)
+	if xs[0] != 256 {
+		t.Fatalf("x_0 = %v", xs[0])
+	}
+	if xs[1] != 32 { // 2 sqrt(256)
+		t.Fatalf("x_1 = %v", xs[1])
+	}
+	// Once below 8, geometric 3/4 contraction.
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[i-1]+1e-9 {
+			t.Fatalf("recurrence increased at %d: %v", i, xs)
+		}
+	}
+	// Zero and negative guard.
+	z := ExactSifterRecurrence(1, 3)
+	for _, v := range z {
+		if v != 0 {
+			t.Fatalf("n=1 sequence = %v", z)
+		}
+	}
+}
+
+func TestExactVsClosedFormSifterBound(t *testing.T) {
+	// The closed form x_i = 2^(2-2^(1-i)) (n-1)^(2^-i) solves the
+	// recurrence exactly in the large regime.
+	n := 1 << 16
+	xs := ExactSifterRecurrence(n, 4)
+	for i := 1; i <= 4; i++ {
+		closed := stats.SifterDecayBound(n, i)
+		if xs[i] > 8 && math.Abs(xs[i]-closed)/closed > 1e-9 {
+			t.Fatalf("round %d: recurrence %v vs closed form %v", i, xs[i], closed)
+		}
+	}
+}
+
+func TestPriorityIteratedBoundMatchesStats(t *testing.T) {
+	n := 1 << 12
+	xs := PriorityIteratedBound(n, 6)
+	for i := 0; i <= 6; i++ {
+		if want := stats.PriorityDecayBound(n, i); math.Abs(xs[i]-want) > 1e-9 {
+			t.Fatalf("round %d: %v vs stats %v", i, xs[i], want)
+		}
+	}
+}
+
+func TestDuplicateProbability(t *testing.T) {
+	// The paper's range ceil(R n^2 / eps) keeps Pr[D] <= eps/2.
+	n, rounds, eps := 64, 7, 0.5
+	rangeSize := uint64(math.Ceil(float64(rounds) * float64(n) * float64(n) / eps))
+	if p := DuplicateProbability(n, rounds, rangeSize); p > eps/2+1e-9 {
+		t.Fatalf("Pr[D] = %v exceeds eps/2", p)
+	}
+	if DuplicateProbability(10, 3, 0) != 1 {
+		t.Fatal("zero range should saturate at 1")
+	}
+	if DuplicateProbability(1000, 1000, 1) != 1 {
+		t.Fatal("overflow case should clamp to 1")
+	}
+}
+
+func TestDuplicateProbabilityMonotone(t *testing.T) {
+	if err := quick.Check(func(rawM uint8, rawRange uint16) bool {
+		m := int(rawM%60) + 2
+		r := uint64(rawRange) + 1
+		return DuplicateProbability(m, 3, r) >= DuplicateProbability(m, 3, r*2)-1e-15
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCILOverwriteBound(t *testing.T) {
+	if got := CILOverwriteBound(4); math.Abs(got-3.0/16) > 1e-12 {
+		t.Fatalf("bound(4) = %v", got)
+	}
+	for _, n := range []int{1, 2, 100, 100000} {
+		if b := CILOverwriteBound(n); b >= 0.25 {
+			t.Fatalf("n=%d: bound %v not < 1/4", n, b)
+		}
+	}
+	if CILOverwriteBound(0) != 0 {
+		t.Fatal("n=0 guard")
+	}
+}
+
+func TestCombineAgreementFloor(t *testing.T) {
+	if CombineAgreementFloor() != 0.125 {
+		t.Fatal("combine floor changed")
+	}
+}

@@ -1,0 +1,181 @@
+// Package attack implements adversaries that are deliberately NOT
+// oblivious, as negative controls for the paper's model assumptions
+// (Section 5, "Strength of the adversary").
+//
+// The paper's conciliators pre-draw all randomness into personae, which
+// is safe only because the oblivious adversary cannot observe it. This
+// package plays an adversary that CAN: it knows the algorithm seed,
+// reconstructs every persona's chooseWrite bits, and schedules each
+// sifting round so that all readers go before any writer. Every round's
+// register is still empty when the readers arrive, so nobody ever adopts
+// anything: the number of distinct personae never decreases and
+// Algorithm 2's agreement probability collapses to zero (for n >= 2).
+//
+// The attack demonstrates that the O(log log n) bound genuinely uses
+// obliviousness — a content-aware or coin-aware adversary defeats the
+// protocol outright — reproducing the paper's observation that its
+// algorithms need at minimum a content-oblivious, weak adversary.
+package attack
+
+import (
+	"sort"
+
+	"github.com/oblivious-consensus/conciliator/internal/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// PredictSifterWriteBits reconstructs, for every process, the chooseWrite
+// bits its persona will carry in a sifter run with the given algorithm
+// seed and write-probability schedule. It white-box-replicates the
+// simulator's per-process stream derivation (xrand.New(seed).
+// ForkNamed(pid)) and the persona's draw order (coin bit first, then
+// write bits); the package tests pin this coupling to the actual
+// implementation.
+func PredictSifterWriteBits(n int, algSeed uint64, probs []float64) [][]bool {
+	bits := make([][]bool, n)
+	master := xrand.New(algSeed)
+	streams := make([]*xrand.Rand, n)
+	for pid := 0; pid < n; pid++ {
+		// sim.RunControlled forks process streams in id order.
+		streams[pid] = master.ForkNamed(uint64(pid))
+	}
+	for pid := 0; pid < n; pid++ {
+		rng := streams[pid]
+		rng.Bool() // persona coin bit
+		bits[pid] = make([]bool, len(probs))
+		for i, p := range probs {
+			bits[pid][i] = rng.Bernoulli(p)
+		}
+	}
+	return bits
+}
+
+// SifterBitLeakSchedule builds the readers-first schedule that freezes
+// Algorithm 2: in every round, processes whose persona reads r_i are
+// scheduled before any process that writes it. Under this schedule no
+// reader ever sees a non-empty register, so every process keeps its
+// original persona through all rounds.
+//
+// The returned schedule is explicit and finite, sized exactly for the
+// sifter's R rounds (one operation per process per round).
+func SifterBitLeakSchedule(n int, algSeed uint64, epsilon float64) *sched.Explicit {
+	if epsilon <= 0 || epsilon >= 1 {
+		epsilon = 0.5
+	}
+	rounds := conciliator.SifterRounds(n, epsilon)
+	if rounds < 1 {
+		rounds = 1
+	}
+	probs := conciliator.SifterProbs(n, rounds)
+	bits := PredictSifterWriteBits(n, algSeed, probs)
+
+	var slots []int
+	for i := 0; i < rounds; i++ {
+		for pid := 0; pid < n; pid++ { // readers first: register still empty
+			if !bits[pid][i] {
+				slots = append(slots, pid)
+			}
+		}
+		for pid := 0; pid < n; pid++ { // then writers
+			if bits[pid][i] {
+				slots = append(slots, pid)
+			}
+		}
+	}
+	return sched.NewExplicit(n, slots)
+}
+
+// PredictPriorityVectors reconstructs every process's per-round
+// priorities for an Algorithm 1 run with the given seed and
+// configuration, again by white-box replication of the stream derivation
+// and the persona draw order (coin bit, then priorities).
+func PredictPriorityVectors(n int, algSeed uint64, rounds int, bound uint64) [][]uint64 {
+	out := make([][]uint64, n)
+	master := xrand.New(algSeed)
+	streams := make([]*xrand.Rand, n)
+	for pid := 0; pid < n; pid++ {
+		streams[pid] = master.ForkNamed(uint64(pid))
+	}
+	for pid := 0; pid < n; pid++ {
+		rng := streams[pid]
+		rng.Bool() // persona coin bit
+		out[pid] = make([]uint64, rounds)
+		for i := range out[pid] {
+			if bound > 0 {
+				out[pid][i] = 1 + rng.Uint64n(bound)
+			} else {
+				out[pid][i] = rng.Uint64()
+			}
+		}
+	}
+	return out
+}
+
+// PriorityLeakSchedule defeats Algorithm 1 the same way
+// SifterBitLeakSchedule defeats Algorithm 2: knowing every persona's
+// priorities, the adversary orders each round's processes by ascending
+// priority and lets each one update AND scan before any higher-priority
+// persona is written. Every process's scan then shows its own persona as
+// the round maximum, so nobody ever adopts: all n personae survive every
+// round and agreement probability collapses to zero.
+//
+// The schedule only works because under it every process keeps its
+// original persona, so the adversary can precompute carrier identities
+// for all rounds. It assumes the Priority conciliator's default
+// configuration (full-width priorities, paper round count for the given
+// epsilon).
+func PriorityLeakSchedule(n int, algSeed uint64, epsilon float64) *sched.Explicit {
+	if epsilon <= 0 || epsilon >= 1 {
+		epsilon = 0.5
+	}
+	rounds := conciliator.PriorityRounds(n, epsilon)
+	prios := PredictPriorityVectors(n, algSeed, rounds, 0)
+
+	var slots []int
+	order := make([]int, n)
+	for i := 0; i < rounds; i++ {
+		for pid := range order {
+			order[pid] = pid
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return prios[order[a]][i] < prios[order[b]][i]
+		})
+		for _, pid := range order {
+			slots = append(slots, pid, pid) // update, then scan, back to back
+		}
+	}
+	return sched.NewExplicit(n, slots)
+}
+
+// WritersFirstSchedule is the benign mirror image: writers before
+// readers in every round, which makes every reader adopt and collapses
+// the persona set as fast as possible. Together with the bit-leak
+// schedule it brackets what schedule choice alone can do when the
+// adversary sees the coins.
+func WritersFirstSchedule(n int, algSeed uint64, epsilon float64) *sched.Explicit {
+	if epsilon <= 0 || epsilon >= 1 {
+		epsilon = 0.5
+	}
+	rounds := conciliator.SifterRounds(n, epsilon)
+	if rounds < 1 {
+		rounds = 1
+	}
+	probs := conciliator.SifterProbs(n, rounds)
+	bits := PredictSifterWriteBits(n, algSeed, probs)
+
+	var slots []int
+	for i := 0; i < rounds; i++ {
+		for pid := 0; pid < n; pid++ {
+			if bits[pid][i] {
+				slots = append(slots, pid)
+			}
+		}
+		for pid := 0; pid < n; pid++ {
+			if !bits[pid][i] {
+				slots = append(slots, pid)
+			}
+		}
+	}
+	return sched.NewExplicit(n, slots)
+}

@@ -1,0 +1,80 @@
+package conciliator
+
+import (
+	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/persona"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+// CILConfig parameterizes the Chor–Israeli–Li conciliator.
+type CILConfig struct {
+	// WriteProb is the per-iteration probability of writing the proposal
+	// register; zero means the paper's 1/(4n).
+	WriteProb float64
+
+	// MaxSpins bounds the number of read-iterations before the process
+	// gives up waiting and writes unconditionally (a safety valve: plain
+	// CIL terminates only with probability 1, but the simulator needs a
+	// hard bound). Zero means 64*n + 1024, which is hit with probability
+	// about exp(-16) per process and preserves validity when it is.
+	MaxSpins int
+}
+
+// CIL is the conciliator extracted from the Chor–Israeli–Li consensus
+// protocol (Section 4): a single proposal register, initially null. Each
+// iteration a process reads the register and returns its value if
+// non-null; otherwise it writes its own input with probability 1/(4n).
+//
+// Agreement holds with probability > 3/4 (once a first value lands, the
+// union bound gives the remaining n-1 processes < 1/4 total probability
+// of overwriting before reading). Expected total steps are O(n); expected
+// individual steps are O(n) too, which is what Algorithm 3 improves by
+// filling the waiting iterations with sifting work.
+type CIL[V comparable] struct {
+	n        int
+	prob     float64
+	maxSpins int
+	proposal *memory.Register[*persona.Persona[V]]
+}
+
+var _ Interface[int] = (*CIL[int])(nil)
+
+// NewCIL returns a CIL conciliator instance for n processes.
+func NewCIL[V comparable](n int, cfg CILConfig) *CIL[V] {
+	prob := cfg.WriteProb
+	if prob <= 0 {
+		prob = 1 / (4 * float64(n))
+	}
+	maxSpins := cfg.MaxSpins
+	if maxSpins <= 0 {
+		maxSpins = 64*n + 1024
+	}
+	return &CIL[V]{
+		n:        n,
+		prob:     prob,
+		maxSpins: maxSpins,
+		proposal: memory.NewRegister[*persona.Persona[V]](),
+	}
+}
+
+// StepBound implements Interface (the safety-valve bound).
+func (c *CIL[V]) StepBound() int { return 2*c.maxSpins + 2 }
+
+// Conciliate implements Interface.
+func (c *CIL[V]) Conciliate(p *sim.Proc, input V) V {
+	pers := persona.New(input, p.ID(), p.Rng(), persona.Config{})
+	for spin := 0; spin < c.maxSpins; spin++ {
+		if v, ok := c.proposal.Read(p); ok {
+			return v.Value()
+		}
+		if p.Rng().Bernoulli(c.prob) {
+			c.proposal.Write(p, pers)
+			return input
+		}
+	}
+	// Safety valve: write unconditionally. Validity still holds (we
+	// return our own input); only the agreement probability analysis is
+	// (negligibly) affected.
+	c.proposal.Write(p, pers)
+	return input
+}

@@ -1,0 +1,111 @@
+// Package conciliator implements the paper's contribution: three
+// conciliator constructions for randomized consensus against an oblivious
+// adversary.
+//
+//   - Priority (Algorithm 1): snapshot-based; each round every process
+//     installs its persona and adopts the highest-priority persona in its
+//     view. Agreement 1-eps within log* n + ceil(log 1/eps) + 1 rounds.
+//   - Sifter (Algorithm 2): register-based; each round a persona either
+//     writes itself (probability p_i) or reads and adopts. Agreement
+//     1-eps within ceil(log log n) + ceil(log_{4/3}(8/eps)) rounds.
+//   - Embedded (Algorithm 3): the sifter (or the priority conciliator)
+//     embedded in a Chor–Israeli–Li outer loop plus a combine stage,
+//     trading agreement probability (>= 1/8) for O(n) expected total
+//     steps.
+//   - CIL: the plain Chor–Israeli–Li conciliator, used both as
+//     Algorithm 3's shell and as the pre-paper baseline.
+//
+// A conciliator guarantees termination and validity on every execution
+// and agreement with probability at least delta against any oblivious
+// adversary (Section 1.2). Conciliator objects here are single-use: one
+// Conciliate call per process.
+package conciliator
+
+import (
+	"github.com/oblivious-consensus/conciliator/internal/persona"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+// Interface is a single-use conciliator for n processes.
+type Interface[V comparable] interface {
+	// Conciliate runs the protocol for process p with the given input and
+	// returns the (hopefully common) output value.
+	Conciliate(p *sim.Proc, input V) V
+
+	// StepBound returns an upper bound on the shared-memory steps one
+	// Conciliate call may take, when such a bound exists. Conciliators
+	// with only probabilistic termination (CIL) return the bound of the
+	// internal safety valve.
+	StepBound() int
+}
+
+// Stepwise is implemented by conciliators whose execution can be driven
+// one round at a time, which is what Algorithm 3 needs to interleave the
+// inner conciliator with its proposal-register polling.
+type Stepwise[V comparable] interface {
+	Interface[V]
+
+	// Begin creates the per-process run state without taking any steps.
+	Begin(p *sim.Proc, input V) Run[V]
+}
+
+// Run is the per-process state of a stepwise conciliator execution.
+type Run[V comparable] interface {
+	// Done reports whether the run has completed all rounds.
+	Done() bool
+	// Step executes the next round (a constant number of shared-memory
+	// operations). Calling Step after Done is a no-op.
+	Step(p *sim.Proc)
+	// Persona returns the process's current persona; after Done it
+	// carries the conciliator's output value.
+	Persona() *persona.Persona[V]
+}
+
+// conciliate drives a stepwise run to completion; shared by the
+// implementations.
+func conciliate[V comparable](c Stepwise[V], p *sim.Proc, input V) V {
+	run := c.Begin(p, input)
+	for !run.Done() {
+		run.Step(p)
+	}
+	return run.Persona().Value()
+}
+
+// tracker records which persona each process holds after each round, so
+// experiments can count surviving distinct personae (the paper's Y_i /
+// X_i measures). Slot [round][pid] is written only by process pid, so no
+// locking is needed; readers wait for the run to finish.
+type tracker[V comparable] struct {
+	holders [][]*persona.Persona[V]
+}
+
+func newTracker[V comparable](rounds, n int, enabled bool) *tracker[V] {
+	if !enabled {
+		return nil
+	}
+	t := &tracker[V]{holders: make([][]*persona.Persona[V], rounds)}
+	for i := range t.holders {
+		t.holders[i] = make([]*persona.Persona[V], n)
+	}
+	return t
+}
+
+func (t *tracker[V]) record(round, pid int, pers *persona.Persona[V]) {
+	if t == nil || round >= len(t.holders) {
+		return
+	}
+	t.holders[round][pid] = pers
+}
+
+// survivors returns the number of distinct personae held after each
+// round. Processes that never reached a round contribute nothing to it.
+func (t *tracker[V]) survivors() []int {
+	if t == nil {
+		return nil
+	}
+	out := make([]int, len(t.holders))
+	for i, round := range t.holders {
+		out[i] = persona.Distinct(round)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package conciliator
+
+import (
+	"sync/atomic"
+
+	"github.com/oblivious-consensus/conciliator/internal/adoptcommit"
+	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/persona"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+// EmbeddedConfig parameterizes Algorithm 3. The embedded conciliator is
+// a Sifter with epsilon 1/4 by default (so it violates agreement with
+// probability at most 1/4, as in the Theorem 3 proof); use
+// NewEmbeddedPriority for the snapshot-model variant. Any inner
+// conciliator must be "oblivious" in the paper's sense — it only copies
+// input values without examining them — which both Sifter and Priority
+// are.
+type EmbeddedConfig struct {
+	// WriteProb is the per-iteration probability of writing the proposal
+	// register; zero means the paper's 1/(4n).
+	WriteProb float64
+}
+
+// ExitPath tells the experiments which way a process left Algorithm 3's
+// main loop.
+type ExitPath int
+
+const (
+	// ExitSifter means the process completed all rounds of the embedded
+	// conciliator.
+	ExitSifter ExitPath = iota + 1
+	// ExitProposalRead means the process saw a non-null proposal.
+	ExitProposalRead
+	// ExitProposalWrite means the process wrote the proposal itself.
+	ExitProposalWrite
+)
+
+// Embedded is Algorithm 3: the CIL conciliator with an embedded sifting
+// conciliator and a combining stage.
+//
+// Main loop (at most inner.Rounds()+1 iterations): read proposal — if
+// non-null, adopt it as the index-1 candidate and leave; otherwise with
+// probability 1/(4n) write the own persona to proposal and leave as the
+// index-1 candidate; otherwise execute one round of the embedded
+// conciliator. Completing the embedded conciliator leaves with its result
+// as the index-0 candidate.
+//
+// Combine: write the candidate persona to out[pref]; run a binary
+// adopt-commit on pref. On (commit, b), return out[b]'s value. On
+// (adopt, b), read out[b]'s persona, use its pre-drawn coin bit c as a
+// shared coin, and return out[c]'s value. Theorem 3: agreement with
+// probability >= 1/8, worst-case individual steps O(log log n), expected
+// total steps O(n).
+type Embedded[V comparable] struct {
+	n     int
+	prob  float64
+	inner Stepwise[V]
+
+	proposal *memory.Register[*persona.Persona[V]]
+	out      [2]*memory.Register[*persona.Persona[V]]
+	ac       *adoptcommit.RegisterAC[int]
+
+	exits [3]atomic.Int64
+}
+
+var _ Interface[int] = (*Embedded[int])(nil)
+
+// NewEmbedded returns an Algorithm 3 instance for n processes with the
+// default sifter inner conciliator.
+func NewEmbedded[V comparable](n int, cfg EmbeddedConfig) *Embedded[V] {
+	prob := cfg.WriteProb
+	if prob <= 0 {
+		prob = 1 / (4 * float64(n))
+	}
+	return &Embedded[V]{
+		n:        n,
+		prob:     prob,
+		inner:    NewSifter[V](n, SifterConfig{Epsilon: 0.25}),
+		proposal: memory.NewRegister[*persona.Persona[V]](),
+		out: [2]*memory.Register[*persona.Persona[V]]{
+			memory.NewRegister[*persona.Persona[V]](),
+			memory.NewRegister[*persona.Persona[V]](),
+		},
+		ac: adoptcommit.NewBinaryAC(),
+	}
+}
+
+// NewEmbeddedPriority returns the Section 4 variant embedding the
+// snapshot-based Algorithm 1 instead of the sifter, giving O(log* n)
+// worst-case individual steps with O(n) expected total steps in the
+// unit-cost snapshot model.
+func NewEmbeddedPriority[V comparable](n int, cfg EmbeddedConfig) *Embedded[V] {
+	e := NewEmbedded[V](n, cfg)
+	e.inner = NewPriority[V](n, PriorityConfig{Epsilon: 0.25})
+	return e
+}
+
+// InnerRounds exposes the embedded conciliator's round count.
+func (c *Embedded[V]) InnerRounds() int {
+	switch inner := c.inner.(type) {
+	case *Sifter[V]:
+		return inner.Rounds()
+	case *Priority[V]:
+		return inner.Rounds()
+	default:
+		return 0
+	}
+}
+
+// StepBound implements Interface: each main-loop iteration costs one
+// proposal read plus one inner step (itself O(1) operations), plus the
+// combine stage.
+func (c *Embedded[V]) StepBound() int {
+	perInner := 2 // priority rounds cost 2 ops; sifter rounds cost 1
+	return (1+perInner)*(c.InnerRounds()+1) + c.ac.StepBound() + 4
+}
+
+// ExitCounts reports how many processes left the main loop by each path
+// (completed inner conciliator, proposal read, proposal write).
+func (c *Embedded[V]) ExitCounts() (sifter, reads, writes int64) {
+	return c.exits[ExitSifter-1].Load(), c.exits[ExitProposalRead-1].Load(), c.exits[ExitProposalWrite-1].Load()
+}
+
+// Conciliate implements Interface.
+func (c *Embedded[V]) Conciliate(p *sim.Proc, input V) V {
+	own := persona.New(input, p.ID(), p.Rng(), persona.Config{})
+	run := c.inner.Begin(p, input)
+
+	var (
+		cand *persona.Persona[V]
+		pref int
+		exit ExitPath
+	)
+	for {
+		if run.Done() {
+			cand, pref, exit = run.Persona(), 0, ExitSifter
+			break
+		}
+		if v, ok := c.proposal.Read(p); ok {
+			cand, pref, exit = v, 1, ExitProposalRead
+			break
+		}
+		if p.Rng().Bernoulli(c.prob) {
+			c.proposal.Write(p, own)
+			cand, pref, exit = own, 1, ExitProposalWrite
+			break
+		}
+		run.Step(p)
+	}
+	c.exits[exit-1].Add(1)
+
+	// Combine stage: reconcile index-0 (inner conciliator) and index-1
+	// (proposal) candidates.
+	c.out[pref].Write(p, cand)
+	dec, b := c.ac.Propose(p, p.ID(), pref)
+	chosen, ok := c.out[b].Read(p)
+	if !ok {
+		// Unreachable by the Theorem 3 validity argument (commit implies
+		// the register was written before the propose; adopt implies both
+		// were); keep the own candidate as a defensive fallback.
+		chosen = cand
+	}
+	if dec == adoptcommit.Commit {
+		return chosen.Value()
+	}
+	// Adopt: use the adopted candidate's pre-drawn coin to pick between
+	// the two output registers.
+	coin := chosen.Coin()
+	if coin != b {
+		if other, ok := c.out[coin].Read(p); ok {
+			chosen = other
+		}
+		// If out[coin] is unwritten no process can have committed coin
+		// (its proposer would have written it first), so falling back to
+		// the adopted candidate is safe.
+	}
+	return chosen.Value()
+}

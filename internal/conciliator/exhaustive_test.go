@@ -1,0 +1,125 @@
+package conciliator
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+// TestSifterValidityOverAllInterleavings model-checks Algorithm 2 with
+// two processes over every schedule interleaving and many seeds: outputs
+// must always be inputs, regardless of who reads or writes when.
+func TestSifterValidityOverAllInterleavings(t *testing.T) {
+	const rounds = 3
+	interleavings := sched.AllInterleavings([]int{rounds, rounds})
+	for seed := uint64(1); seed <= 12; seed++ {
+		for _, slots := range interleavings {
+			c := NewSifter[int](2, SifterConfig{Rounds: rounds})
+			inputs := []int{10, 20}
+			outs, finished, _, err := sim.Collect(sched.NewExplicit(2, slots), sim.Config{AlgSeed: seed}, func(p *sim.Proc) int {
+				return c.Conciliate(p, inputs[p.ID()])
+			})
+			if err != nil {
+				t.Fatalf("seed %d schedule %v: %v", seed, slots, err)
+			}
+			for pid, o := range outs {
+				if !finished[pid] {
+					t.Fatalf("seed %d schedule %v: pid %d unfinished", seed, slots, pid)
+				}
+				if o != 10 && o != 20 {
+					t.Fatalf("seed %d schedule %v: invalid output %d", seed, slots, o)
+				}
+			}
+		}
+	}
+}
+
+// TestSifterSafeUnderEveryPrefix checks validity of the finished subset
+// under every truncation of every interleaving (crash model checking).
+func TestSifterSafeUnderEveryPrefix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("prefix model check skipped in -short mode")
+	}
+	const rounds = 3
+	for _, slots := range sched.AllInterleavings([]int{rounds, rounds}) {
+		for cut := 0; cut <= len(slots); cut++ {
+			c := NewSifter[int](2, SifterConfig{Rounds: rounds})
+			inputs := []int{10, 20}
+			outs, finished, _, err := sim.Collect(sched.NewExplicit(2, slots[:cut]), sim.Config{AlgSeed: 7}, func(p *sim.Proc) int {
+				return c.Conciliate(p, inputs[p.ID()])
+			})
+			if err != nil && !errors.Is(err, sim.ErrScheduleExhausted) {
+				t.Fatal(err)
+			}
+			for pid, o := range outs {
+				if finished[pid] && o != 10 && o != 20 {
+					t.Fatalf("prefix %v: invalid output %d", slots[:cut], o)
+				}
+			}
+		}
+	}
+}
+
+// TestPriorityValidityOverAllInterleavings is the Algorithm 1 analogue:
+// two processes, two rounds, two operations per round.
+func TestPriorityValidityOverAllInterleavings(t *testing.T) {
+	const rounds = 2
+	interleavings := sched.AllInterleavings([]int{2 * rounds, 2 * rounds})
+	for seed := uint64(1); seed <= 6; seed++ {
+		for _, slots := range interleavings {
+			c := NewPriority[int](2, PriorityConfig{Rounds: rounds})
+			inputs := []int{33, 44}
+			outs, finished, _, err := sim.Collect(sched.NewExplicit(2, slots), sim.Config{AlgSeed: seed}, func(p *sim.Proc) int {
+				return c.Conciliate(p, inputs[p.ID()])
+			})
+			if err != nil {
+				t.Fatalf("seed %d schedule %v: %v", seed, slots, err)
+			}
+			for pid, o := range outs {
+				if !finished[pid] {
+					t.Fatalf("seed %d schedule %v: pid %d unfinished", seed, slots, pid)
+				}
+				if o != 33 && o != 44 {
+					t.Fatalf("seed %d schedule %v: invalid output %d", seed, slots, o)
+				}
+			}
+			// Algorithm 1 bonus property: under the lockstep schedule
+			// (both update, then both scan, per round) every scan of the
+			// final round contains both current personae, so both
+			// processes adopt the same maximum and must agree.
+			if fmt.Sprint(slots) == fmt.Sprint([]int{0, 1, 0, 1, 0, 1, 0, 1}) {
+				if outs[0] != outs[1] {
+					t.Fatalf("seed %d: lockstep schedule must agree, got %v", seed, outs)
+				}
+			}
+		}
+	}
+}
+
+// TestEmbeddedValidityOverSampledSchedules covers Algorithm 3's more
+// variable step structure with explicit bounded-length schedules: run
+// under long round-robin prefixes so all processes finish, then check
+// validity.
+func TestEmbeddedValidityOverSampledSchedules(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		c := NewEmbedded[int](3, EmbeddedConfig{})
+		inputs := []int{7, 8, 9}
+		outs, finished, _, err := sim.Collect(sched.NewRoundRobin(3), sim.Config{AlgSeed: seed}, func(p *sim.Proc) int {
+			return c.Conciliate(p, inputs[p.ID()])
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid, o := range outs {
+			if !finished[pid] {
+				t.Fatalf("seed %d: pid %d unfinished", seed, pid)
+			}
+			if o < 7 || o > 9 {
+				t.Fatalf("seed %d: invalid output %d", seed, o)
+			}
+		}
+	}
+}

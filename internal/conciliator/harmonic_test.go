@@ -1,0 +1,88 @@
+package conciliator
+
+import (
+	"math"
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/analysis"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// TestPriorityStaircaseMatchesHarmonicNumber connects Lemma 1's proof to
+// the implementation quantitatively. Under the "staircase" schedule —
+// process 0 updates and scans, then process 1, and so on — process i's
+// view contains exactly personae 0..i, so it keeps the maximum-priority
+// persona of that prefix. The set of personae kept after the round is
+// then exactly the set of left-to-right maxima of the priority sequence,
+// whose expected count is the harmonic number H_n (Rényi; see
+// internal/analysis). The measured mean must match H_n within sampling
+// error — not merely stay below the ln(n)+1 bound.
+func TestPriorityStaircaseMatchesHarmonicNumber(t *testing.T) {
+	const (
+		n      = 64
+		trials = 400
+	)
+	staircase := make([]int, 0, 2*n)
+	for pid := 0; pid < n; pid++ {
+		staircase = append(staircase, pid, pid)
+	}
+
+	rng := xrand.New(20120716)
+	sum, sumSq := 0.0, 0.0
+	for trial := 0; trial < trials; trial++ {
+		c := NewPriority[int](n, PriorityConfig{Rounds: 1, TrackSurvivors: true})
+		inputs := distinctInputs(n)
+		_, _, _, err := sim.Collect(sched.NewExplicit(n, staircase), sim.Config{AlgSeed: rng.Uint64()}, func(p *sim.Proc) int {
+			return c.Conciliate(p, inputs[p.ID()])
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		surv := float64(c.SurvivorsPerRound()[0])
+		sum += surv
+		sumSq += surv * surv
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	ci := 3 * math.Sqrt(variance/trials) // 3-sigma
+
+	want := analysis.ExpectedLTRMaxima(n) // H_64 ~ 4.7439
+	if math.Abs(mean-want) > ci+0.05 {
+		t.Fatalf("staircase survivors mean %.4f, want H_%d = %.4f (3-sigma %.4f)", mean, n, want, ci)
+	}
+}
+
+// TestPriorityLockstepCollapsesToOne is the opposite extreme: when every
+// process updates before anyone scans, all views equal the full set, so
+// everyone adopts the unique global maximum and exactly one persona
+// survives round 1 — deterministically, for every seed.
+func TestPriorityLockstepCollapsesToOne(t *testing.T) {
+	const n = 32
+	lockstep := make([]int, 0, 2*n)
+	for pid := 0; pid < n; pid++ {
+		lockstep = append(lockstep, pid) // all updates
+	}
+	for pid := 0; pid < n; pid++ {
+		lockstep = append(lockstep, pid) // then all scans
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		c := NewPriority[int](n, PriorityConfig{Rounds: 1, TrackSurvivors: true})
+		inputs := distinctInputs(n)
+		outs, _, _, err := sim.Collect(sched.NewExplicit(n, lockstep), sim.Config{AlgSeed: seed}, func(p *sim.Proc) int {
+			return c.Conciliate(p, inputs[p.ID()])
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.SurvivorsPerRound()[0]; got != 1 {
+			t.Fatalf("seed %d: %d survivors under lockstep, want 1", seed, got)
+		}
+		for _, o := range outs {
+			if o != outs[0] {
+				t.Fatalf("seed %d: lockstep round must already agree", seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package conciliator
+
+import (
+	"math"
+
+	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/persona"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/stats"
+)
+
+// PriorityConfig parameterizes Algorithm 1.
+type PriorityConfig struct {
+	// Epsilon is the target disagreement probability (default 1/2). The
+	// round count is R = log* n + ceil(log2(1/Epsilon)) + 1.
+	Epsilon float64
+
+	// Rounds overrides the paper's R when positive (used by the decay
+	// experiments that want to watch more rounds than agreement needs).
+	Rounds int
+
+	// PaperPriorityRange draws priorities from {1..ceil(R n^2/Epsilon)}
+	// exactly as the paper specifies. When false (the default),
+	// priorities are full-width 64-bit values, whose collision
+	// probability is far below any epsilon/(R n^2) budget; the E11c
+	// ablation measures the difference.
+	PaperPriorityRange bool
+
+	// PriorityBound, when nonzero, forces a specific priority range
+	// (ablation E11c). Takes precedence over PaperPriorityRange.
+	PriorityBound uint64
+
+	// SharePersonae, when false, disables the persona mechanism: a
+	// process adopting a value draws its own fresh priorities instead of
+	// inheriting the originator's (ablation E11b). The paper's analysis
+	// requires sharing; the ablation measures what breaks without it.
+	SharePersonae *bool
+
+	// UseMaxRegisters runs the footnote-1 variant on max registers
+	// instead of snapshots. TreeMax selects the register-based tree max
+	// register (O(key bits) steps per operation) instead of the unit-cost
+	// one.
+	UseMaxRegisters bool
+	TreeMax         bool
+
+	// UseAfekSnapshot replaces the unit-cost snapshot objects with the
+	// register-built Afek-et-al. snapshot, charging the true register
+	// cost of every update and scan. This quantifies what the paper's
+	// unit-cost assumption buys (experiment E15).
+	UseAfekSnapshot bool
+
+	// InconsistentTies selects a first-seen-wins rule for equal
+	// priorities instead of the default deterministic origin-id
+	// tie-break. The default tie-break turns (priority, origin) into a
+	// total order, which quietly repairs duplicate priorities; the
+	// ablation E11c uses this switch to expose the event D the paper's
+	// priority range guards against.
+	InconsistentTies bool
+
+	// CompactValues implements footnote 2 of the paper: snapshot
+	// components carry only the persona's origin id and priority vector,
+	// never the (unbounded-size) input value. Input values live in a
+	// per-process board of single-writer registers, written once on
+	// entry and read once at the end to resolve the winning origin to
+	// its value. Costs 2 extra steps per process; component size drops
+	// to O(log n log* n) bits.
+	CompactValues bool
+
+	// TrackSurvivors enables per-round distinct-persona accounting.
+	TrackSurvivors bool
+}
+
+func (c PriorityConfig) withDefaults() PriorityConfig {
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		c.Epsilon = 0.5
+	}
+	if c.SharePersonae == nil {
+		share := true
+		c.SharePersonae = &share
+	}
+	return c
+}
+
+// PriorityRounds returns the paper's R for n processes and the given
+// epsilon: log* n + ceil(log2(1/eps)) + 1.
+func PriorityRounds(n int, epsilon float64) int {
+	return stats.LogStar(float64(n)) + stats.CeilLogBase(2, 1/epsilon) + 1
+}
+
+// Priority is Algorithm 1: the snapshot-based priority conciliator.
+type Priority[V comparable] struct {
+	n      int
+	rounds int
+	cfg    PriorityConfig
+	bound  uint64
+
+	arrays []memory.SnapshotObject[*persona.Persona[V]]
+	maxers []memory.Maxer[*persona.Persona[V]]
+
+	// board holds each process's input value in compact (footnote 2)
+	// mode; nil otherwise.
+	board *memory.RegisterArray[V]
+
+	track *tracker[V]
+}
+
+var (
+	_ Interface[int] = (*Priority[int])(nil)
+	_ Stepwise[int]  = (*Priority[int])(nil)
+)
+
+// NewPriority returns an Algorithm 1 instance for n processes.
+func NewPriority[V comparable](n int, cfg PriorityConfig) *Priority[V] {
+	cfg = cfg.withDefaults()
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = PriorityRounds(n, cfg.Epsilon)
+	}
+	c := &Priority[V]{n: n, rounds: rounds, cfg: cfg}
+	switch {
+	case cfg.PriorityBound != 0:
+		c.bound = cfg.PriorityBound
+	case cfg.PaperPriorityRange:
+		c.bound = uint64(math.Ceil(float64(rounds) * float64(n) * float64(n) / cfg.Epsilon))
+	}
+	if cfg.UseMaxRegisters {
+		if cfg.TreeMax && c.bound == 0 {
+			// The tree max register needs a bounded key space; default to
+			// the paper's priority range when none was forced.
+			c.bound = uint64(math.Ceil(float64(rounds) * float64(n) * float64(n) / cfg.Epsilon))
+		}
+		c.maxers = make([]memory.Maxer[*persona.Persona[V]], rounds)
+		for i := range c.maxers {
+			if cfg.TreeMax {
+				c.maxers[i] = memory.NewTreeMaxRegister[*persona.Persona[V]](treeBits(c.bound))
+			} else {
+				c.maxers[i] = memory.NewMaxRegister[*persona.Persona[V]]()
+			}
+		}
+	} else {
+		c.arrays = make([]memory.SnapshotObject[*persona.Persona[V]], rounds)
+		for i := range c.arrays {
+			if cfg.UseAfekSnapshot {
+				c.arrays[i] = memory.NewAfekSnapshot[*persona.Persona[V]](n)
+			} else {
+				c.arrays[i] = memory.NewSnapshot[*persona.Persona[V]](n)
+			}
+		}
+	}
+	if cfg.CompactValues {
+		c.board = memory.NewRegisterArray[V](n)
+	}
+	c.track = newTracker[V](rounds, n, cfg.TrackSurvivors)
+	return c
+}
+
+// Rounds returns the number of rounds R the instance will execute.
+func (c *Priority[V]) Rounds() int { return c.rounds }
+
+// StepBound implements Interface: two operations per round on the
+// unit-cost substrates; substrate-dependent otherwise.
+func (c *Priority[V]) StepBound() int {
+	per := 2
+	switch {
+	case c.cfg.UseMaxRegisters && c.cfg.TreeMax:
+		// Tree max register costs O(key bits) register steps per
+		// operation.
+		per = 2 * (treeBits(c.bound) + 1)
+	case c.cfg.UseAfekSnapshot:
+		// An update embeds a scan; a scan costs up to O(n^2) collects in
+		// adversarial schedules, but under one-op-per-slot scheduling a
+		// double collect (2n reads) plus the update's own ops dominate.
+		// Use a generous bound proportional to n^2 to stay a true bound.
+		per = 4*c.n*c.n + 8*c.n + 8
+	}
+	bound := per * c.rounds
+	if c.cfg.CompactValues {
+		bound += 2 // board write on entry, board read on exit
+	}
+	return bound
+}
+
+// treeBits returns the key width needed for priorities in {1..bound}.
+func treeBits(bound uint64) int {
+	bits := 1
+	for bound>>uint(bits) != 0 && bits < 63 {
+		bits++
+	}
+	return bits
+}
+
+// SurvivorsPerRound returns, after an execution with TrackSurvivors, the
+// number of distinct personae held at the end of each round (the paper's
+// Y_i).
+func (c *Priority[V]) SurvivorsPerRound() []int { return c.track.survivors() }
+
+// Conciliate implements Interface.
+func (c *Priority[V]) Conciliate(p *sim.Proc, input V) V {
+	return conciliate[V](c, p, input)
+}
+
+// Begin implements Stepwise.
+func (c *Priority[V]) Begin(p *sim.Proc, input V) Run[V] {
+	carried := input
+	if c.cfg.CompactValues {
+		// Footnote 2: the circulated persona never carries the input;
+		// only the origin id travels through shared memory.
+		var zero V
+		carried = zero
+	}
+	return &priorityRun[V]{
+		c:     c,
+		input: input,
+		pers: persona.New(carried, p.ID(), p.Rng(), persona.Config{
+			PriorityRounds: c.rounds,
+			PriorityBound:  c.bound,
+		}),
+	}
+}
+
+type priorityRun[V comparable] struct {
+	c     *Priority[V]
+	pers  *persona.Persona[V]
+	i     int
+	input V
+	wrote bool
+}
+
+func (r *priorityRun[V]) Done() bool                   { return r.i >= r.c.rounds }
+func (r *priorityRun[V]) Persona() *persona.Persona[V] { return r.pers }
+
+// Step executes one round: install the current persona, then adopt the
+// highest-priority persona visible.
+func (r *priorityRun[V]) Step(p *sim.Proc) {
+	if r.Done() {
+		return
+	}
+	i := r.i
+	c := r.c
+
+	if c.cfg.CompactValues && !r.wrote {
+		c.board.At(p.ID()).Write(p, r.input)
+		r.wrote = true
+	}
+
+	if c.cfg.UseMaxRegisters {
+		m := c.maxers[i]
+		m.WriteMax(p, r.pers.Priority(i), r.pers)
+		if _, best, ok := m.ReadMax(p); ok {
+			r.adopt(p, best, i)
+		}
+	} else {
+		a := c.arrays[i]
+		a.Update(p, p.ID(), r.pers)
+		view := a.Scan(p)
+		var best *persona.Persona[V]
+		for _, e := range view {
+			if !e.OK {
+				continue
+			}
+			if best == nil || better(e.Value, best, i, c.cfg.InconsistentTies) {
+				best = e.Value
+			}
+		}
+		// best is never nil: the process's own update precedes its scan.
+		r.adopt(p, best, i)
+	}
+
+	c.track.record(i, p.ID(), r.pers)
+	r.i++
+
+	if c.cfg.CompactValues && r.i >= c.rounds {
+		// Resolve the winning origin to its input through the board. The
+		// origin wrote its board entry before its persona first entered
+		// any snapshot, so the read always finds a value.
+		if v, ok := c.board.At(r.pers.Origin()).Read(p); ok {
+			r.pers = persona.WithValue(r.pers, v)
+		}
+	}
+}
+
+// adopt installs the winning persona. With sharing disabled (ablation),
+// the process keeps the winner's value but re-draws priorities from its
+// own stream, which breaks the "all copies behave identically" property
+// the analysis uses.
+func (r *priorityRun[V]) adopt(p *sim.Proc, winner *persona.Persona[V], round int) {
+	if *r.c.cfg.SharePersonae || winner == r.pers {
+		r.pers = winner
+		return
+	}
+	r.pers = persona.New(winner.Value(), p.ID(), p.Rng(), persona.Config{
+		PriorityRounds: r.c.rounds,
+		PriorityBound:  r.c.bound,
+	})
+}
+
+// better reports whether a beats b in round i: higher priority wins. The
+// paper assumes no duplicates (event D) and charges any duplicate as a
+// failure; the default origin-id tie-break is stricter than the paper
+// needs — it makes (priority, origin) a total order, so even duplicate
+// priorities cannot break agreement. With inconsistentTies the incumbent
+// keeps ties (first-seen-wins), which is view-dependent and exhibits the
+// failures event D budgets for.
+func better[V comparable](a, b *persona.Persona[V], i int, inconsistentTies bool) bool {
+	pa, pb := a.Priority(i), b.Priority(i)
+	if pa != pb {
+		return pa > pb
+	}
+	if inconsistentTies {
+		return false
+	}
+	return a.Origin() > b.Origin()
+}

@@ -1,0 +1,52 @@
+package consensus
+
+import (
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/adoptcommit"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+func TestNewRegisterEncodedAgreement(t *testing.T) {
+	const n = 12
+	rng := xrand.New(3)
+	for trial := 0; trial < 20; trial++ {
+		// Binary universe: 1-bit encoder.
+		c := NewRegisterEncoded(n, adoptcommit.IdentityEncoder(1))
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = rng.Intn(2)
+		}
+		outs, _ := runConsensus(t, c, inputs, sched.NewRandom(n, xrand.New(rng.Uint64())), rng.Uint64())
+		checkConsensus(t, inputs, outs, "encoded binary")
+	}
+}
+
+func TestNewRegisterEncodedCheaperThanHash(t *testing.T) {
+	// With a 1-bit encoder the adopt-commit costs 5 steps instead of the
+	// hash default's 131; total steps must reflect that.
+	const n = 16
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	enc := NewRegisterEncoded(n, adoptcommit.IdentityEncoder(1))
+	_, resEnc := runConsensus(t, enc, inputs, sched.NewRandom(n, xrand.New(5)), 7)
+
+	hash := NewRegister[int](n)
+	_, resHash := runConsensus(t, hash, inputs, sched.NewRandom(n, xrand.New(5)), 7)
+
+	if resEnc.TotalSteps >= resHash.TotalSteps {
+		t.Fatalf("encoded AC total %d not cheaper than hash AC total %d",
+			resEnc.TotalSteps, resHash.TotalSteps)
+	}
+}
+
+func TestNewRegisterEncodedWideUniverse(t *testing.T) {
+	const n = 8
+	c := NewRegisterEncoded(n, adoptcommit.IdentityEncoder(10))
+	inputs := []int{100, 200, 300, 400, 500, 600, 700, 800}
+	outs, _ := runConsensus(t, c, inputs, sched.NewRandom(n, xrand.New(9)), 11)
+	checkConsensus(t, inputs, outs, "encoded wide")
+}

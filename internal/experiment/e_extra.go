@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/oblivious-consensus/conciliator/internal/attack"
+	"github.com/oblivious-consensus/conciliator/internal/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/stats"
+)
+
+// e13Multiplicity measures how the round complexity tracks the number of
+// *distinct inputs* m rather than the number of processes n: the paper's
+// analyses start from X_0 = (distinct personae) - 1, so fewer distinct
+// values should mean fewer effective rounds of work.
+func e13Multiplicity() Experiment {
+	return Experiment{
+		ID:    "E13",
+		Title: "Distinct-input multiplicity: X_0 = m-1, not n-1",
+		Claim: "Sections 2-3: the decay analyses are driven by the number of distinct personae entering each round",
+		Run: func(p Params) []Table {
+			p = p.withDefaults()
+			trials := p.trials(20, 60)
+			n := 256
+			if p.Quick {
+				n = 32
+			}
+			ms := []int{2, 4, 16, 64, n}
+			if p.Quick {
+				ms = []int{2, 8, n}
+			}
+
+			tbl := Table{
+				ID:      "E13",
+				Title:   fmt.Sprintf("Algorithm 2 survivors after rounds 1 and 2 by input multiplicity (n=%d)", n),
+				Columns: []string{"distinct inputs m", "mean X_1", "mean X_2", "bound from m: 2*sqrt(m-1)"},
+				Notes: []string{
+					"Processes share only m distinct input values. Distinct " +
+						"personae still start at n (each process draws its own " +
+						"coins), but distinct *values* collapse at the rate driven " +
+						"by the persona count; the table reports distinct values " +
+						"held after each round, which is what consensus cares " +
+						"about, and compares with the m-driven bound.",
+				},
+			}
+			for _, m := range ms {
+				m := m
+				var (
+					mu   sync.Mutex
+					sum1 float64
+					sum2 float64
+				)
+				forEachTrial(p.Seed+16+uint64(m), trials, func(t int, s trialSeeds) {
+					c := conciliator.NewSifter[int](n, conciliator.SifterConfig{
+						Rounds:         2,
+						TrackSurvivors: true,
+					})
+					inputs := make([]int, n)
+					for i := range inputs {
+						inputs[i] = i % m
+					}
+					holders := make([][]int, 2)
+					for r := range holders {
+						holders[r] = make([]int, n)
+					}
+					mustRun(n, s, func(pr *sim.Proc) int {
+						run := c.Begin(pr, inputs[pr.ID()])
+						r := 0
+						for !run.Done() {
+							run.Step(pr)
+							if r < 2 {
+								holders[r][pr.ID()] = run.Persona().Value()
+							}
+							r++
+						}
+						return run.Persona().Value()
+					})
+					distinctAt := func(r int) int {
+						set := make(map[int]struct{})
+						for _, v := range holders[r] {
+							set[v] = struct{}{}
+						}
+						return len(set)
+					}
+					mu.Lock()
+					sum1 += float64(distinctAt(0) - 1)
+					sum2 += float64(distinctAt(1) - 1)
+					mu.Unlock()
+				})
+				bound := 2 * math.Sqrt(float64(m-1))
+				tbl.AddRow(m, sum1/float64(trials), sum2/float64(trials), bound)
+			}
+			return []Table{tbl}
+		},
+	}
+}
+
+// e14Adversary is the negative control for the oblivious-adversary
+// assumption: a coin-aware adversary (it knows the algorithm seed)
+// schedules all readers before all writers in every sifting round,
+// freezing the persona set.
+func e14Adversary() Experiment {
+	return Experiment{
+		ID:    "E14",
+		Title: "Strength of the adversary: coin-aware schedules defeat Algorithm 2",
+		Claim: "Section 5: the algorithms require (at least) a content-oblivious weak adversary; leaking the coins to the adversary breaks them",
+		Run: func(p Params) []Table {
+			p = p.withDefaults()
+			trials := p.trials(20, 60)
+			n := 64
+			if p.Quick {
+				n = 16
+			}
+
+			tbl := Table{
+				ID:      "E14",
+				Title:   fmt.Sprintf("Algorithm 2 under oblivious vs coin-aware adversaries (n=%d)", n),
+				Columns: []string{"adversary", "agreement rate", "mean distinct outputs"},
+				Notes: []string{
+					"The bit-leak adversary schedules every round's readers " +
+						"before its writers, so no reader ever sees a non-empty " +
+						"register and every process keeps its original persona: " +
+						"agreement probability 0, all n values survive. The " +
+						"writers-first adversary is the benign mirror image. The " +
+						"oblivious adversary cannot tell readers from writers, " +
+						"which is exactly why Theorem 2's bound stands.",
+				},
+			}
+			kinds := []string{"oblivious random", "coin-aware readers-first (attack)", "coin-aware writers-first"}
+			for ki, kind := range kinds {
+				ki := ki
+				var (
+					mu          sync.Mutex
+					agreedCount int
+					distinctSum float64
+				)
+				forEachTrial(p.Seed+17+uint64(ki), trials, func(t int, s trialSeeds) {
+					c := conciliator.NewSifter[int](n, conciliator.SifterConfig{})
+					inputs := distinctInputs(n)
+					body := func(pr *sim.Proc) int {
+						return c.Conciliate(pr, inputs[pr.ID()])
+					}
+					var (
+						outs []int
+						fin  []bool
+					)
+					switch ki {
+					case 0:
+						outs, fin, _ = mustRun(n, s, body)
+					case 1:
+						src := attack.SifterBitLeakSchedule(n, s.alg, 0.5)
+						var err error
+						outs, fin, _, err = sim.Collect(src, sim.Config{AlgSeed: s.alg}, body)
+						if err != nil {
+							panic(err)
+						}
+					default:
+						src := attack.WritersFirstSchedule(n, s.alg, 0.5)
+						var err error
+						outs, fin, _, err = sim.Collect(src, sim.Config{AlgSeed: s.alg}, body)
+						if err != nil {
+							panic(err)
+						}
+					}
+					set := make(map[int]struct{})
+					for i, o := range outs {
+						if fin[i] {
+							set[o] = struct{}{}
+						}
+					}
+					mu.Lock()
+					if agree(outs, fin) {
+						agreedCount++
+					}
+					distinctSum += float64(len(set))
+					mu.Unlock()
+				})
+				rate, ci := stats.Proportion(agreedCount, trials)
+				tbl.AddRow(kind, pct(rate, ci), distinctSum/float64(trials))
+			}
+
+			tbl1 := Table{
+				ID:      "E14b",
+				Title:   fmt.Sprintf("Algorithm 1 under oblivious vs priority-leak adversaries (n=%d)", n),
+				Columns: []string{"adversary", "agreement rate", "mean distinct outputs"},
+				Notes: []string{
+					"The priority-leak adversary orders each round's processes " +
+						"by ascending priority, update-then-scan back to back, so " +
+						"every scan shows its own persona as the maximum and no " +
+						"process ever adopts: the same freeze as the Algorithm 2 " +
+						"attack, through a different mechanism.",
+				},
+			}
+			for ki, kind := range []string{"oblivious random", "coin-aware priority-leak (attack)"} {
+				ki := ki
+				var (
+					mu          sync.Mutex
+					agreedCount int
+					distinctSum float64
+				)
+				forEachTrial(p.Seed+23+uint64(ki), trials, func(t int, s trialSeeds) {
+					c := conciliator.NewPriority[int](n, conciliator.PriorityConfig{})
+					inputs := distinctInputs(n)
+					body := func(pr *sim.Proc) int {
+						return c.Conciliate(pr, inputs[pr.ID()])
+					}
+					var (
+						outs []int
+						fin  []bool
+					)
+					if ki == 0 {
+						outs, fin, _ = mustRun(n, s, body)
+					} else {
+						src := attack.PriorityLeakSchedule(n, s.alg, 0.5)
+						var err error
+						outs, fin, _, err = sim.Collect(src, sim.Config{AlgSeed: s.alg}, body)
+						if err != nil {
+							panic(err)
+						}
+					}
+					set := make(map[int]struct{})
+					for i, o := range outs {
+						if fin[i] {
+							set[o] = struct{}{}
+						}
+					}
+					mu.Lock()
+					if agree(outs, fin) {
+						agreedCount++
+					}
+					distinctSum += float64(len(set))
+					mu.Unlock()
+				})
+				rate, ci := stats.Proportion(agreedCount, trials)
+				tbl1.AddRow(kind, pct(rate, ci), distinctSum/float64(trials))
+			}
+			return []Table{tbl, tbl1}
+		},
+	}
+}

@@ -1,0 +1,400 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/oblivious-consensus/conciliator/internal/adoptcommit"
+	"github.com/oblivious-consensus/conciliator/internal/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/stats"
+	"github.com/oblivious-consensus/conciliator/internal/tas"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// e9AdoptCommit measures adopt-commit step costs as a function of the
+// value-universe size m, locating the conciliator/adopt-commit crossover
+// discussed after Corollary 2.
+func e9AdoptCommit() Experiment {
+	return Experiment{
+		ID:    "E9",
+		Title: "Adopt-commit cost vs value-universe size m",
+		Claim: "Section 1.2/3: snapshot AC costs O(1); register AC costs O(log m) here (substituted for Aspnes-Ellen O(log m/loglog m)); for large m the AC dominates the conciliator",
+		Run: func(p Params) []Table {
+			p = p.withDefaults()
+			ms := []int{2, 16, 256, 4096, 65536, 1 << 20}
+			if p.Quick {
+				ms = []int{2, 256, 65536}
+			}
+			const n = 16
+
+			tbl := Table{
+				ID:    "E9",
+				Title: "adopt-commit steps per Propose (n=16, two-value conflict workload)",
+				Columns: []string{
+					"m", "snapshot AC (measured)", "register AC (measured)",
+					"register AC bound 2*ceil(log m)+3", "sifter rounds (n=16) for scale",
+				},
+				Notes: []string{
+					"The register AC column grows with log m while the snapshot AC " +
+						"stays at 4 steps; once 2 log m exceeds the conciliator's round " +
+						"count, the adopt-commit dominates consensus cost — the paper's " +
+						"break-even observation (with our O(log m) substitution the " +
+						"crossover shifts by a Theta(log log m) factor; see DESIGN.md).",
+				},
+			}
+			for _, m := range ms {
+				bits := stats.CeilLog2(m)
+				if bits < 1 {
+					bits = 1
+				}
+				seeds := seedsFor(p.Seed+10+uint64(m), 1)
+
+				snap := adoptcommit.NewSnapshotAC[int](n)
+				_, _, resSnap := mustRun(n, seeds[0], func(pr *sim.Proc) int {
+					_, v := snap.Propose(pr, pr.ID(), pr.ID()%2*(m-1))
+					return v
+				})
+
+				reg := adoptcommit.NewRegisterAC[int](adoptcommit.NewDigitCD(adoptcommit.IdentityEncoder(bits)))
+				_, _, resReg := mustRun(n, seeds[0], func(pr *sim.Proc) int {
+					_, v := reg.Propose(pr, pr.ID(), pr.ID()%2*(m-1))
+					return v
+				})
+
+				tbl.AddRow(m,
+					float64(resSnap.MaxSteps()),
+					float64(resReg.MaxSteps()),
+					2*bits+3,
+					conciliator.SifterRounds(n, 0.5))
+			}
+			return []Table{tbl}
+		},
+	}
+}
+
+// e10Schedules verifies that agreement probabilities are schedule-shape
+// independent — the substance of the oblivious-adversary model.
+func e10Schedules() Experiment {
+	return Experiment{
+		ID:    "E10",
+		Title: "Robustness across oblivious schedule families",
+		Claim: "Section 1.1 model: bounds hold for any schedule fixed independently of the coin flips",
+		Run: func(p Params) []Table {
+			p = p.withDefaults()
+			trials := p.trials(20, 50)
+			n := 64
+			if p.Quick {
+				n = 16
+			}
+
+			tbl := Table{
+				ID:      "E10",
+				Title:   fmt.Sprintf("agreement rates by schedule family (n=%d)", n),
+				Columns: []string{"schedule", "Algorithm 1", "Algorithm 2", "Algorithm 3 (floor 1/8)"},
+				Notes: []string{
+					"Rates for Algorithms 1 and 2 must stay above 1/2 (eps = 1/2) " +
+						"under every family; crash-half rates are computed over " +
+						"surviving processes.",
+				},
+			}
+			for _, kind := range sched.Kinds() {
+				rates := make([]string, 0, 3)
+				for alg := 0; alg < 3; alg++ {
+					agreed := make([]bool, trials)
+					forEachTrial(p.Seed+11+uint64(alg)*131+uint64(kind), trials, func(t int, s trialSeeds) {
+						var c conciliator.Interface[int]
+						switch alg {
+						case 0:
+							c = conciliator.NewPriority[int](n, conciliator.PriorityConfig{})
+						case 1:
+							c = conciliator.NewSifter[int](n, conciliator.SifterConfig{})
+						default:
+							c = conciliator.NewEmbedded[int](n, conciliator.EmbeddedConfig{})
+						}
+						inputs := distinctInputs(n)
+						src := sched.New(kind, n, s.sched)
+						outs, fin, _, err := sim.Collect(src, sim.Config{AlgSeed: s.alg}, func(pr *sim.Proc) int {
+							return c.Conciliate(pr, inputs[pr.ID()])
+						})
+						if err != nil {
+							panic(err)
+						}
+						agreed[t] = agree(outs, fin)
+					})
+					hits := 0
+					for _, a := range agreed {
+						if a {
+							hits++
+						}
+					}
+					rate, ci := stats.Proportion(hits, trials)
+					rates = append(rates, pct(rate, ci))
+				}
+				tbl.AddRow(kind.String(), rates[0], rates[1], rates[2])
+			}
+			return []Table{tbl}
+		},
+	}
+}
+
+// e11Ablations measures the design choices the paper's analysis leans on:
+// the tuned probability schedule, persona sharing, and the priority
+// range.
+func e11Ablations() Experiment {
+	return Experiment{
+		ID:    "E11",
+		Title: "Ablations: tuned probabilities, persona sharing, priority range",
+		Claim: "Design choices from Sections 2-3",
+		Run: func(p Params) []Table {
+			p = p.withDefaults()
+			trials := p.trials(20, 50)
+
+			// (a) tuned p_i vs constant 1/2: rounds to reach one survivor.
+			nA := 1024
+			if p.Quick {
+				nA = 64
+			}
+			roundsA := 2*stats.CeilLog2(nA) + 8
+			a := Table{
+				ID:      "E11a",
+				Title:   fmt.Sprintf("rounds until a single persona survives (n=%d)", nA),
+				Columns: []string{"probability schedule", "mean rounds to 1 survivor", "ceil(loglog n)", "ceil(log n)"},
+				Notes: []string{
+					"The tuned schedule needs about loglog n rounds; constant 1/2 " +
+						"needs about log n (each round only halves the survivors) — " +
+						"the crossover the tuned schedule (p_i = 1/sqrt(x_{i-1})) buys.",
+				},
+			}
+			for _, tuned := range []bool{true, false} {
+				var probs []float64
+				if !tuned {
+					probs = []float64{0.5}
+				}
+				var (
+					mu  sync.Mutex
+					sum float64
+				)
+				forEachTrial(p.Seed+12, trials, func(t int, s trialSeeds) {
+					c := conciliator.NewSifter[int](nA, conciliator.SifterConfig{
+						Rounds:         roundsA,
+						Probs:          probs,
+						TrackSurvivors: true,
+					})
+					inputs := distinctInputs(nA)
+					mustRun(nA, s, func(pr *sim.Proc) int {
+						return c.Conciliate(pr, inputs[pr.ID()])
+					})
+					surv := c.SurvivorsPerRound()
+					first := roundsA
+					for i, v := range surv {
+						if v <= 1 {
+							first = i + 1
+							break
+						}
+					}
+					mu.Lock()
+					sum += float64(first)
+					mu.Unlock()
+				})
+				name := "tuned (p_i = 1/sqrt(x_{i-1}))"
+				if !tuned {
+					name = "constant 1/2"
+				}
+				a.AddRow(name, sum/float64(trials), stats.CeilLogLog(nA), stats.CeilLog2(nA))
+			}
+
+			// (b) persona sharing on/off under the split schedule.
+			nB := 64
+			if p.Quick {
+				nB = 16
+			}
+			b := Table{
+				ID:      "E11b",
+				Title:   fmt.Sprintf("persona sharing ablation (n=%d, Algorithm 2, split schedule)", nB),
+				Columns: []string{"personae shared", "agreement rate", "mean survivors after R rounds"},
+				Notes: []string{
+					"Without shared personae, two carriers of one value flip " +
+						"independent coins, so values stop collapsing reliably; the " +
+						"analysis of Lemma 2 no longer applies.",
+				},
+			}
+			for _, share := range []bool{true, false} {
+				share := share
+				var (
+					mu       sync.Mutex
+					agreed   int
+					survSum  float64
+					rounds   = conciliator.SifterRounds(nB, 0.5)
+					shareVar = share
+				)
+				forEachTrial(p.Seed+13, trials, func(t int, s trialSeeds) {
+					c := conciliator.NewSifter[int](nB, conciliator.SifterConfig{
+						SharePersonae:  &shareVar,
+						TrackSurvivors: true,
+					})
+					inputs := distinctInputs(nB)
+					src := sched.NewSplit(nB, 4*nB)
+					outs, fin, _, err := sim.Collect(src, sim.Config{AlgSeed: s.alg}, func(pr *sim.Proc) int {
+						return c.Conciliate(pr, inputs[pr.ID()])
+					})
+					if err != nil {
+						panic(err)
+					}
+					surv := c.SurvivorsPerRound()
+					mu.Lock()
+					if agree(outs, fin) {
+						agreed++
+					}
+					survSum += float64(surv[len(surv)-1])
+					mu.Unlock()
+				})
+				rate, ci := stats.Proportion(agreed, trials)
+				b.AddRow(fmt.Sprintf("%v (R=%d)", share, rounds), pct(rate, ci), survSum/float64(trials))
+			}
+
+			// (c) priority range vs duplicate-collision failures.
+			nC := 32
+			if p.Quick {
+				nC = 16
+			}
+			c := Table{
+				ID:    "E11c",
+				Title: fmt.Sprintf("priority range ablation (n=%d, Algorithm 1)", nC),
+				Columns: []string{
+					"priority range", "agreement (origin tie-break)",
+					"agreement (first-seen ties)", "paper range ceil(R n^2 / eps)",
+				},
+				Notes: []string{
+					"Tiny ranges cause duplicate priorities — the event D that " +
+						"Theorem 1 charges as failure and the paper's range keeps " +
+						"below eps/2. Our default origin-id tie-break turns " +
+						"(priority, origin) into a total order, silently repairing " +
+						"duplicates (left column stays at 1). The first-seen tie " +
+						"rule is view-dependent, so duplicates really do break " +
+						"agreement (right column) until the range reaches the " +
+						"paper's budget.",
+				},
+			}
+			paperRange := uint64(math.Ceil(float64(conciliator.PriorityRounds(nC, 0.5)) * float64(nC) * float64(nC) / 0.5))
+			for _, bound := range []uint64{2, 8, 64, paperRange, 0} {
+				bound := bound
+				rates := make([]string, 2)
+				for mode := 0; mode < 2; mode++ {
+					mode := mode
+					var (
+						mu     sync.Mutex
+						agreed int
+					)
+					forEachTrial(p.Seed+14+bound+uint64(mode)*977, trials, func(t int, s trialSeeds) {
+						pc := conciliator.PriorityConfig{
+							PriorityBound:    bound,
+							InconsistentTies: mode == 1,
+						}
+						cc := conciliator.NewPriority[int](nC, pc)
+						inputs := distinctInputs(nC)
+						outs, fin, _ := mustRun(nC, s, func(pr *sim.Proc) int {
+							return cc.Conciliate(pr, inputs[pr.ID()])
+						})
+						mu.Lock()
+						if agree(outs, fin) {
+							agreed++
+						}
+						mu.Unlock()
+					})
+					rate, ci := stats.Proportion(agreed, trials)
+					rates[mode] = pct(rate, ci)
+				}
+				name := fmt.Sprintf("%d", bound)
+				if bound == 0 {
+					name = "2^64 (full width)"
+				}
+				if bound == paperRange {
+					name = fmt.Sprintf("%d (paper)", bound)
+				}
+				c.AddRow(name, rates[0], rates[1], paperRange)
+			}
+			return []Table{a, b, c}
+		},
+	}
+}
+
+// e12TAS compares the sifting test-and-set's contender decay with the
+// conciliator's persona decay (the conclusions-section comparison).
+func e12TAS() Experiment {
+	return Experiment{
+		ID:    "E12",
+		Title: "Sifting test-and-set vs sifting conciliator",
+		Claim: "Conclusions: TAS losers drop out on contact, conciliator participants must adopt and continue; decay rates coincide round by round",
+		Run: func(p Params) []Table {
+			p = p.withDefaults()
+			trials := p.trials(20, 50)
+			n := 256
+			if p.Quick {
+				n = 32
+			}
+			rounds := stats.CeilLogLog(n) + 3
+
+			tbl := Table{
+				ID:      "E12",
+				Title:   fmt.Sprintf("contenders (TAS) vs distinct personae (Algorithm 2), n=%d", n),
+				Columns: []string{"round", "TAS contenders (mean)", "Alg 2 distinct personae (mean)", "bound x_i + 1"},
+				Notes: []string{
+					"Both protocols use the same tuned write probabilities; their " +
+						"survivor curves track each other and the x_i bound, which " +
+						"is the structural connection the paper draws to " +
+						"Alistarh-Aspnes.",
+					"One TAS winner always remains and exactly one process wins " +
+						"(asserted on every trial).",
+				},
+			}
+			tasSums := make([]float64, rounds+1)
+			concSums := make([]float64, rounds)
+			var mu sync.Mutex
+			forEachTrial(p.Seed+15, trials, func(t int, s trialSeeds) {
+				ts := tas.New(n, tas.Config{Rounds: rounds})
+				wins, fin, _, err := sim.Collect(sched.NewRandom(n, xrand.New(s.sched)), sim.Config{AlgSeed: s.alg}, func(pr *sim.Proc) bool {
+					return ts.Acquire(pr)
+				})
+				if err != nil {
+					panic(err)
+				}
+				winners := 0
+				for i := range wins {
+					if fin[i] && wins[i] {
+						winners++
+					}
+				}
+				if winners != 1 {
+					panic(fmt.Sprintf("tas: %d winners", winners))
+				}
+
+				c := conciliator.NewSifter[int](n, conciliator.SifterConfig{Rounds: rounds, TrackSurvivors: true})
+				inputs := distinctInputs(n)
+				mustRun(n, s, func(pr *sim.Proc) int {
+					return c.Conciliate(pr, inputs[pr.ID()])
+				})
+
+				entered := ts.ContendersPerRound()
+				surv := c.SurvivorsPerRound()
+				mu.Lock()
+				for i := 0; i <= rounds && i < len(entered); i++ {
+					tasSums[i] += float64(entered[i])
+				}
+				for i := 0; i < rounds && i < len(surv); i++ {
+					concSums[i] += float64(surv[i])
+				}
+				mu.Unlock()
+			})
+			for i := 0; i < rounds; i++ {
+				tbl.AddRow(i+1,
+					tasSums[i+1]/float64(trials),
+					concSums[i]/float64(trials),
+					stats.SifterDecayBound(n, i+1)+1)
+			}
+			return []Table{tbl}
+		},
+	}
+}

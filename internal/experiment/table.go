@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid of cells plus
+// explanatory notes.
+type Table struct {
+	ID      string
+	Title   string
+	Notes   []string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cells are forwarded through fmt for convenience.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	if len(t.Columns) > 0 {
+		b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+		for _, row := range t.Rows {
+			b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n%s\n", n)
+	}
+	return b.String()
+}
+
+// TSV renders the table as tab-separated values (no title or notes).
+func (t *Table) TSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, "\t") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, "\t") + "\n")
+	}
+	return b.String()
+}
+
+// Text renders the table as an aligned plain-text grid.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "%s\n", n)
+	}
+	return b.String()
+}
+
+// trimFloat renders floats compactly: integers without decimals, others
+// with up to three significant decimals.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// pct renders a proportion with its confidence half-width.
+func pct(p, ci float64) string {
+	return fmt.Sprintf("%.3f ± %.3f", p, ci)
+}

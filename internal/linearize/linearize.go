@@ -1,0 +1,196 @@
+// Package linearize implements a Wing–Gong-style linearizability checker
+// for the shared-object histories this repository's protocols run on.
+// The memory objects are linearizable by construction (each operation is
+// a critical section), but the paper's correctness arguments lean on
+// atomicity so heavily — total ordering of scans, unique clean values,
+// monotone max registers — that we validate it empirically: record a
+// concurrent history, then search for a witness linearization.
+//
+// An operation is recorded as an interval [Start, End] of logical
+// timestamps taken outside the operation; the true linearization point
+// lies inside the interval. The checker does a memoized DFS over
+// candidate next-operations: an operation may be linearized next only if
+// no other pending operation finished before it started (real-time
+// order), and its response must match the object's sequential semantics.
+//
+// Complexity is exponential in the worst case; intended for histories of
+// up to a few dozen operations, which is what the tests record.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// OpKind distinguishes reads and writes.
+type OpKind int
+
+const (
+	// Read returns the object's value.
+	Read OpKind = iota + 1
+	// Write installs a value.
+	Write
+)
+
+// Op is one recorded operation.
+type Op struct {
+	// Proc is the process that issued the operation (informational).
+	Proc int
+	// Kind is Read or Write.
+	Kind OpKind
+	// Arg is the written value (Write) or unused (Read).
+	Arg int64
+	// Out is the returned value (Read) or unused (Write).
+	Out int64
+	// OutOK reports whether the read found a value (false = null).
+	OutOK bool
+	// Start and End are logical timestamps bracketing the operation.
+	Start, End int64
+}
+
+// Semantics defines a sequential object for the checker.
+type Semantics interface {
+	// Init returns the initial state.
+	Init() int64
+	// Apply returns the state after a write of arg.
+	Apply(state int64, arg int64) int64
+	// ReadValue returns what a read must observe in state.
+	ReadValue(state int64) int64
+}
+
+// RegisterSemantics is last-write-wins.
+type RegisterSemantics struct{}
+
+// Init implements Semantics.
+func (RegisterSemantics) Init() int64 { return 0 }
+
+// Apply implements Semantics.
+func (RegisterSemantics) Apply(_ int64, arg int64) int64 { return arg }
+
+// ReadValue implements Semantics.
+func (RegisterSemantics) ReadValue(state int64) int64 { return state }
+
+// MaxRegisterSemantics keeps the maximum written value.
+type MaxRegisterSemantics struct{}
+
+// Init implements Semantics.
+func (MaxRegisterSemantics) Init() int64 { return 0 }
+
+// Apply implements Semantics.
+func (MaxRegisterSemantics) Apply(state, arg int64) int64 {
+	if arg > state {
+		return arg
+	}
+	return state
+}
+
+// ReadValue implements Semantics.
+func (MaxRegisterSemantics) ReadValue(state int64) int64 { return state }
+
+// Check reports whether the history has a linearization under the given
+// sequential semantics. Histories longer than 64 operations are
+// rejected (the memoization key is a bitmask).
+func Check(sem Semantics, history []Op) (bool, error) {
+	n := len(history)
+	if n == 0 {
+		return true, nil
+	}
+	if n > 64 {
+		return false, fmt.Errorf("linearize: history of %d ops exceeds the 64-op limit", n)
+	}
+	ops := make([]Op, n)
+	copy(ops, history)
+	// Sorting by start time keeps candidate scans cheap and the memo
+	// stable; it does not affect correctness.
+	sort.Slice(ops, func(a, b int) bool { return ops[a].Start < ops[b].Start })
+
+	type memoKey struct {
+		done    uint64
+		state   int64
+		written bool
+	}
+	memo := make(map[memoKey]bool)
+
+	var dfs func(done uint64, state int64, written bool) bool
+	dfs = func(done uint64, state int64, written bool) bool {
+		if done == (uint64(1)<<n)-1 {
+			return true
+		}
+		key := memoKey{done: done, state: state, written: written}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		// minEnd over pending ops: a pending op may be linearized next
+		// only if no other pending op ended before it started.
+		var minEnd int64 = 1<<63 - 1
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		ok := false
+		for i := 0; i < n && !ok; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			op := ops[i]
+			if op.Start > minEnd {
+				continue // some pending op precedes it in real time
+			}
+			switch op.Kind {
+			case Write:
+				ok = dfs(done|(1<<i), sem.Apply(state, op.Arg), true)
+			case Read:
+				if written {
+					if op.OutOK && op.Out == sem.ReadValue(state) {
+						ok = dfs(done|(1<<i), state, written)
+					}
+				} else if !op.OutOK {
+					ok = dfs(done|(1<<i), state, written)
+				}
+			}
+		}
+		memo[key] = ok
+		return ok
+	}
+	return dfs(0, sem.Init(), false), nil
+}
+
+// Recorder assigns logical timestamps and accumulates a history; safe
+// for concurrent use.
+type Recorder struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []Op
+}
+
+// Begin returns a start timestamp; call it immediately before invoking
+// the operation on the object under test.
+func (r *Recorder) Begin() int64 { return r.clock.Add(1) }
+
+// EndWrite records a completed write that started at start.
+func (r *Recorder) EndWrite(proc int, arg int64, start int64) {
+	end := r.clock.Add(1)
+	r.mu.Lock()
+	r.ops = append(r.ops, Op{Proc: proc, Kind: Write, Arg: arg, Start: start, End: end})
+	r.mu.Unlock()
+}
+
+// EndRead records a completed read that started at start.
+func (r *Recorder) EndRead(proc int, out int64, outOK bool, start int64) {
+	end := r.clock.Add(1)
+	r.mu.Lock()
+	r.ops = append(r.ops, Op{Proc: proc, Kind: Read, Out: out, OutOK: outOK, Start: start, End: end})
+	r.mu.Unlock()
+}
+
+// History returns a copy of the recorded operations.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}

@@ -1,0 +1,72 @@
+package memory
+
+import "testing"
+
+// Substrate micro-benchmarks: wall-clock cost of the shared objects
+// themselves (the model charges 1 step per operation regardless; these
+// numbers describe the simulator, not the model).
+
+func BenchmarkRegisterWrite(b *testing.B) {
+	r := NewRegister[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Write(Free, i)
+	}
+}
+
+func BenchmarkRegisterRead(b *testing.B) {
+	r := NewRegister[int]()
+	r.Write(Free, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Read(Free)
+	}
+}
+
+func BenchmarkSnapshotUpdate(b *testing.B) {
+	s := NewSnapshot[int](64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Update(Free, i%64, i)
+	}
+}
+
+func BenchmarkSnapshotScan(b *testing.B) {
+	s := NewSnapshot[int](64)
+	for i := 0; i < 64; i++ {
+		s.Update(Free, i, i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Scan(Free)
+	}
+}
+
+func BenchmarkMaxRegister(b *testing.B) {
+	m := NewMaxRegister[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.WriteMax(Free, uint64(i%1000), i)
+		m.ReadMax(Free)
+	}
+}
+
+func BenchmarkTreeMaxRegister(b *testing.B) {
+	m := NewTreeMaxRegister[int](20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.WriteMax(Free, uint64(i%(1<<20)), i)
+		m.ReadMax(Free)
+	}
+}
+
+func BenchmarkAfekSnapshotScan(b *testing.B) {
+	s := NewAfekSnapshot[int](16)
+	for i := 0; i < 16; i++ {
+		s.Update(Free, i, i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Scan(Free)
+	}
+}

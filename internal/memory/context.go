@@ -1,0 +1,46 @@
+// Package memory implements the paper's shared-memory model: linearizable
+// atomic multi-writer multi-reader registers, unit-cost snapshot objects,
+// max registers (the footnote-1 alternative for Algorithm 1), and — to show
+// the snapshot substrate is constructible rather than an oracle — a
+// wait-free snapshot built from single-writer registers in the style of
+// Afek et al.
+//
+// Every operation on a shared object charges exactly one step to the
+// calling process through the Context interface, matching the paper's cost
+// model in which both register operations and snapshot update/scan
+// operations cost one step (Section 1.1). Objects are internally
+// linearizable (a mutex makes each operation atomic), so the same objects
+// are safe in the free-running concurrent execution mode as well as under
+// the deterministic controlled scheduler, where at most one process runs
+// at a time anyway.
+package memory
+
+import "sync/atomic"
+
+// Context is the hook through which shared-memory operations charge steps
+// to the calling process and yield to the adversary scheduler. The
+// simulator's process handle implements it; code running outside a
+// simulation can pass Free.
+type Context interface {
+	// Step blocks until the adversary schedules the caller's next
+	// operation (controlled mode) and charges one step. In concurrent
+	// mode it only charges the step.
+	Step()
+}
+
+// Free is a Context that never blocks and charges nothing. It is intended
+// for unit tests and non-simulated use of the memory objects.
+var Free Context = freeContext{}
+
+type freeContext struct{}
+
+func (freeContext) Step() {}
+
+// opCounter tracks how many operations an object has served. Atomic so it
+// is safe in concurrent mode; reads are for metrics only.
+type opCounter struct {
+	n atomic.Int64
+}
+
+func (c *opCounter) inc()        { c.n.Add(1) }
+func (c *opCounter) load() int64 { return c.n.Load() }

@@ -1,0 +1,183 @@
+package memory
+
+import "sync"
+
+// Maxer is a max register with an attached payload: WriteMax installs
+// (key, payload) and ReadMax returns the payload carrying the largest key
+// written so far. Footnote 1 of the paper observes that Algorithm 1 only
+// ever uses its snapshots to find the maximum-priority persona, so a max
+// register suffices; both implementations below satisfy this interface so
+// the conciliator can run on either.
+type Maxer[T any] interface {
+	// WriteMax installs payload under key; the register retains the entry
+	// with the largest key seen.
+	WriteMax(ctx Context, key uint64, payload T)
+	// ReadMax returns the entry with the largest key written so far, and
+	// false if nothing has been written.
+	ReadMax(ctx Context) (uint64, T, bool)
+}
+
+// MaxRegister is the unit-cost max register: one step per operation,
+// linearizable by construction. It is the max-register analogue of the
+// unit-cost Snapshot.
+type MaxRegister[T any] struct {
+	mu      sync.Mutex
+	key     uint64
+	payload T
+	set     bool
+	ops     opCounter
+}
+
+var _ Maxer[int] = (*MaxRegister[int])(nil)
+
+// NewMaxRegister returns an empty unit-cost max register.
+func NewMaxRegister[T any]() *MaxRegister[T] {
+	return &MaxRegister[T]{}
+}
+
+// WriteMax implements Maxer.
+func (m *MaxRegister[T]) WriteMax(ctx Context, key uint64, payload T) {
+	ctx.Step()
+	m.mu.Lock()
+	if !m.set || key > m.key {
+		m.key, m.payload, m.set = key, payload, true
+	}
+	m.mu.Unlock()
+	m.ops.inc()
+}
+
+// ReadMax implements Maxer.
+func (m *MaxRegister[T]) ReadMax(ctx Context) (uint64, T, bool) {
+	ctx.Step()
+	m.mu.Lock()
+	k, p, ok := m.key, m.payload, m.set
+	m.mu.Unlock()
+	m.ops.inc()
+	return k, p, ok
+}
+
+// Ops reports how many operations this max register has served.
+func (m *MaxRegister[T]) Ops() int64 { return m.ops.load() }
+
+// TreeMaxRegister is the Aspnes–Attiya–Censor-Hillel max register built
+// recursively from ordinary registers: a k-bit max register is a switch
+// register plus two (k-1)-bit max registers for the low and high halves of
+// the key space. Writes of high-half keys recurse right and then set the
+// switch; writes of low-half keys first read the switch and are dropped if
+// a high-half write has already landed (the low write can no longer affect
+// the maximum). Reads follow the switch. Each operation costs O(k)
+// register steps, illustrating what the "unit-cost" assumption buys.
+//
+// Keys must be < 2^bits. Payloads ride along to the leaves.
+type TreeMaxRegister[T any] struct {
+	bits int
+	root *maxNode[T]
+}
+
+var _ Maxer[int] = (*TreeMaxRegister[int])(nil)
+
+type maxNode[T any] struct {
+	// leaf is non-nil at depth 0 and holds the payload for the single key
+	// this leaf represents.
+	leaf *Register[T]
+
+	// Internal node state: high-half switch plus children.
+	swtch *Register[struct{}]
+	left  *maxNode[T]
+	right *maxNode[T]
+}
+
+// NewTreeMaxRegister returns a register-based max register for keys in
+// [0, 2^bits). bits must be in [1, 63].
+func NewTreeMaxRegister[T any](bits int) *TreeMaxRegister[T] {
+	if bits < 1 || bits > 63 {
+		panic("memory: TreeMaxRegister bits out of range [1, 63]")
+	}
+	return &TreeMaxRegister[T]{bits: bits, root: newMaxNode[T](bits)}
+}
+
+func newMaxNode[T any](depth int) *maxNode[T] {
+	if depth == 0 {
+		return &maxNode[T]{leaf: NewRegister[T]()}
+	}
+	// Children are created lazily only in principle; we allocate eagerly
+	// for depths that are actually reached, which writeMax ensures by
+	// construction. Eager allocation of the full tree would be 2^bits
+	// nodes, so children are built on first touch below.
+	return &maxNode[T]{swtch: NewRegister[struct{}]()}
+}
+
+// Bits returns the key width.
+func (t *TreeMaxRegister[T]) Bits() int { return t.bits }
+
+// WriteMax implements Maxer. It costs O(bits) register operations.
+func (t *TreeMaxRegister[T]) WriteMax(ctx Context, key uint64, payload T) {
+	if key >= 1<<uint(t.bits) {
+		panic("memory: TreeMaxRegister key out of range")
+	}
+	t.root.writeMax(ctx, t.bits, key, payload)
+}
+
+// ReadMax implements Maxer. It costs O(bits) register operations.
+func (t *TreeMaxRegister[T]) ReadMax(ctx Context) (uint64, T, bool) {
+	return t.root.readMax(ctx, t.bits)
+}
+
+func (n *maxNode[T]) writeMax(ctx Context, depth int, key uint64, payload T) {
+	if depth == 0 {
+		n.leaf.Write(ctx, payload)
+		return
+	}
+	half := uint64(1) << uint(depth-1)
+	if key >= half {
+		n.child(&n.right, depth-1).writeMax(ctx, depth-1, key-half, payload)
+		n.swtch.Write(ctx, struct{}{})
+		return
+	}
+	if _, high := n.swtch.Read(ctx); high {
+		// A high-half value is already present; this write cannot be the
+		// maximum, so it may be dropped without violating linearizability.
+		return
+	}
+	n.child(&n.left, depth-1).writeMax(ctx, depth-1, key, payload)
+}
+
+func (n *maxNode[T]) readMax(ctx Context, depth int) (uint64, T, bool) {
+	if depth == 0 {
+		v, ok := n.leaf.Read(ctx)
+		return 0, v, ok
+	}
+	half := uint64(1) << uint(depth-1)
+	if _, high := n.swtch.Read(ctx); high {
+		// The switch is set only after the corresponding right-subtree
+		// write completed, so the right subtree is non-empty.
+		k, v, ok := n.child(&n.right, depth-1).readMax(ctx, depth-1)
+		return half + k, v, ok
+	}
+	if n.leftNil() {
+		var zero T
+		return 0, zero, false
+	}
+	return n.child(&n.left, depth-1).readMax(ctx, depth-1)
+}
+
+// child returns *slot, creating the node on first use. Lazy creation keeps
+// the tree proportional to the number of distinct key prefixes written
+// rather than 2^bits. Guarded by a package-level mutex because node
+// creation is bookkeeping, not a modeled memory operation.
+func (n *maxNode[T]) child(slot **maxNode[T], depth int) *maxNode[T] {
+	treeMu.Lock()
+	defer treeMu.Unlock()
+	if *slot == nil {
+		*slot = newMaxNode[T](depth)
+	}
+	return *slot
+}
+
+func (n *maxNode[T]) leftNil() bool {
+	treeMu.Lock()
+	defer treeMu.Unlock()
+	return n.left == nil
+}
+
+var treeMu sync.Mutex

@@ -1,0 +1,85 @@
+package memory
+
+import "sync"
+
+// Entry is one component of a snapshot view: a value plus whether that
+// component has ever been updated (the paper's "non-null S[j]").
+type Entry[T any] struct {
+	Value T
+	OK    bool
+}
+
+// Snapshot is a unit-cost atomic snapshot object with n components, as
+// assumed by Algorithm 1: Update installs a process's value in one step
+// and Scan returns an atomic copy of all n components in one step. The
+// unit cost is the modeling assumption the paper makes explicit ("we treat
+// all operations as taking one step", Section 2); AfekSnapshot in this
+// package shows how to realize the same interface from plain registers at
+// higher cost.
+type Snapshot[T any] struct {
+	mu   sync.Mutex
+	vals []Entry[T]
+	ops  opCounter
+}
+
+// NewSnapshot returns an n-component snapshot object with all components
+// null.
+func NewSnapshot[T any](n int) *Snapshot[T] {
+	return &Snapshot[T]{vals: make([]Entry[T], n)}
+}
+
+// Components returns the number of components n.
+func (s *Snapshot[T]) Components() int { return len(s.vals) }
+
+// Update atomically installs v as component i, charging one step.
+func (s *Snapshot[T]) Update(ctx Context, i int, v T) {
+	ctx.Step()
+	s.mu.Lock()
+	s.vals[i] = Entry[T]{Value: v, OK: true}
+	s.mu.Unlock()
+	s.ops.inc()
+}
+
+// Scan atomically returns a copy of all components, charging one step.
+func (s *Snapshot[T]) Scan(ctx Context) []Entry[T] {
+	ctx.Step()
+	s.mu.Lock()
+	out := make([]Entry[T], len(s.vals))
+	copy(out, s.vals)
+	s.mu.Unlock()
+	s.ops.inc()
+	return out
+}
+
+// Ops reports how many operations this snapshot object has served.
+func (s *Snapshot[T]) Ops() int64 { return s.ops.load() }
+
+// ViewSubset reports whether view a is a subset of view b in the sense of
+// the Lemma 1 proof: every component set in a is set in b. For views of
+// the same snapshot object taken at different times this is the "each view
+// is a subset of any larger views" nesting property.
+func ViewSubset[T any](a, b []Entry[T]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].OK && !b[i].OK {
+			return false
+		}
+	}
+	return true
+}
+
+// ViewsNested reports whether a collection of views forms a chain under
+// ViewSubset. Linearizability of the snapshot object implies every set of
+// views of one object is nested; the property tests lean on this.
+func ViewsNested[T any](views [][]Entry[T]) bool {
+	for i := range views {
+		for j := range views {
+			if !ViewSubset(views[i], views[j]) && !ViewSubset(views[j], views[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+// Package persona implements the paper's persona abstraction: an input
+// value bundled with every coin flip the protocols will ever make on its
+// behalf.
+//
+// Because the oblivious adversary cannot observe register contents or
+// process states, a process may pre-generate a sequence of random bits,
+// attach them to its input value, and let the bundle propagate as other
+// processes adopt the value. All carriers of a persona then behave
+// identically in every round, which makes the number of surviving distinct
+// personae — rather than the number of processes — the progress measure in
+// the paper's analysis (Sections 2 and 3).
+//
+// A Persona is immutable after creation and is shared by pointer, so two
+// processes "hold the same persona" exactly when they hold the same
+// *Persona. Survivor counting is therefore pointer-set cardinality.
+package persona
+
+import (
+	"fmt"
+
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// Persona is an input value plus all pre-drawn randomness:
+//
+//   - priorities: one priority per round of the snapshot conciliator
+//     (Algorithm 1, line 3).
+//   - write bits: one Bernoulli(p_i) choice per round of the sifting
+//     conciliator (Algorithm 2, chooseWrite).
+//   - coin: the single shared-coin bit used by Algorithm 3's combine stage.
+//
+// Origin is the id of the creating process. The paper notes the id is
+// carried only to make independently generated personae distinct in the
+// analysis; the algorithms never branch on it. We keep it for exactly that
+// purpose (and for debugging output).
+type Persona[V comparable] struct {
+	value      V
+	origin     int
+	priorities []uint64
+	writeBits  []bool
+	coin       bool
+}
+
+// Config controls how much pre-drawn randomness a persona carries and from
+// which distributions.
+type Config struct {
+	// PriorityRounds is the number of per-round priorities to draw
+	// (Algorithm 1's R).
+	PriorityRounds int
+
+	// PriorityBound, when nonzero, draws priorities uniformly from
+	// {1, ..., PriorityBound}, matching the paper's range of
+	// ceil(R n^2 / epsilon). When zero, priorities are full-width uniform
+	// uint64 values (collision probability per pair 2^-64, far below any
+	// epsilon/R n^2 budget in practice).
+	PriorityBound uint64
+
+	// WriteProbs gives the per-round write probabilities p_i for the
+	// sifting conciliator; one write bit is drawn per entry.
+	WriteProbs []float64
+}
+
+// New creates a persona for value owned by process origin, drawing all
+// randomness from rng.
+func New[V comparable](value V, origin int, rng *xrand.Rand, cfg Config) *Persona[V] {
+	p := &Persona[V]{
+		value:  value,
+		origin: origin,
+		coin:   rng.Bool(),
+	}
+	if cfg.PriorityRounds > 0 {
+		p.priorities = make([]uint64, cfg.PriorityRounds)
+		for i := range p.priorities {
+			if cfg.PriorityBound > 0 {
+				p.priorities[i] = 1 + rng.Uint64n(cfg.PriorityBound)
+			} else {
+				p.priorities[i] = rng.Uint64()
+			}
+		}
+	}
+	if len(cfg.WriteProbs) > 0 {
+		p.writeBits = make([]bool, len(cfg.WriteProbs))
+		for i, prob := range cfg.WriteProbs {
+			p.writeBits[i] = rng.Bernoulli(prob)
+		}
+	}
+	return p
+}
+
+// Value returns the persona's input value.
+func (p *Persona[V]) Value() V { return p.value }
+
+// WithValue returns a copy of p carrying value v instead, sharing all
+// pre-drawn randomness. It supports the paper's footnote-2 indirection,
+// where the protocol circulates value-less personae and resolves the
+// winner's value through a per-process board at the end. The copy is a
+// distinct pointer; callers doing survivor accounting should only apply
+// WithValue after the rounds being counted.
+func WithValue[V comparable](p *Persona[V], v V) *Persona[V] {
+	cp := *p
+	cp.value = v
+	return &cp
+}
+
+// Origin returns the id of the process that created the persona.
+func (p *Persona[V]) Origin() int { return p.origin }
+
+// Coin returns the persona's shared-coin bit as 0 or 1.
+func (p *Persona[V]) Coin() int {
+	if p.coin {
+		return 1
+	}
+	return 0
+}
+
+// Priority returns the persona's priority for round i (0-based). It panics
+// if the persona was created without enough priority rounds, which would
+// indicate a protocol configuration bug rather than a runtime condition.
+func (p *Persona[V]) Priority(i int) uint64 {
+	return p.priorities[i]
+}
+
+// PriorityRounds returns how many priority rounds were pre-drawn.
+func (p *Persona[V]) PriorityRounds() int { return len(p.priorities) }
+
+// WriteBit reports the pre-drawn chooseWrite decision for round i
+// (0-based).
+func (p *Persona[V]) WriteBit(i int) bool {
+	return p.writeBits[i]
+}
+
+// WriteRounds returns how many write bits were pre-drawn.
+func (p *Persona[V]) WriteRounds() int { return len(p.writeBits) }
+
+// String renders the persona for traces.
+func (p *Persona[V]) String() string {
+	return fmt.Sprintf("persona{value=%v origin=%d coin=%d}", p.value, p.origin, p.Coin())
+}
+
+// Distinct counts the number of distinct personae among ps, ignoring nils.
+// This is the paper's Y_i when applied to the survivors of round i.
+func Distinct[V comparable](ps []*Persona[V]) int {
+	seen := make(map[*Persona[V]]struct{}, len(ps))
+	for _, p := range ps {
+		if p != nil {
+			seen[p] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Excess returns max(Distinct(ps)-1, 0), the paper's X_i.
+func Excess[V comparable](ps []*Persona[V]) int {
+	if d := Distinct(ps); d > 0 {
+		return d - 1
+	}
+	return 0
+}

@@ -1,0 +1,190 @@
+package persona
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+func TestNewCarriesValueAndOrigin(t *testing.T) {
+	rng := xrand.New(1)
+	p := New("hello", 7, rng, Config{PriorityRounds: 3, WriteProbs: []float64{0.5, 0.5}})
+	if p.Value() != "hello" {
+		t.Errorf("Value = %q", p.Value())
+	}
+	if p.Origin() != 7 {
+		t.Errorf("Origin = %d", p.Origin())
+	}
+	if p.PriorityRounds() != 3 {
+		t.Errorf("PriorityRounds = %d", p.PriorityRounds())
+	}
+	if p.WriteRounds() != 2 {
+		t.Errorf("WriteRounds = %d", p.WriteRounds())
+	}
+}
+
+func TestDeterministicFromSeed(t *testing.T) {
+	cfg := Config{PriorityRounds: 5, WriteProbs: []float64{0.1, 0.9, 0.5}}
+	a := New(42, 0, xrand.New(99), cfg)
+	b := New(42, 0, xrand.New(99), cfg)
+	for i := 0; i < 5; i++ {
+		if a.Priority(i) != b.Priority(i) {
+			t.Fatalf("priority %d differs", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if a.WriteBit(i) != b.WriteBit(i) {
+			t.Fatalf("write bit %d differs", i)
+		}
+	}
+	if a.Coin() != b.Coin() {
+		t.Fatal("coin differs")
+	}
+}
+
+func TestPriorityBoundRespected(t *testing.T) {
+	rng := xrand.New(3)
+	if err := quick.Check(func(raw uint16) bool {
+		bound := uint64(raw%1000) + 1
+		p := New(0, 0, rng, Config{PriorityRounds: 8, PriorityBound: bound})
+		for i := 0; i < 8; i++ {
+			if pr := p.Priority(i); pr < 1 || pr > bound {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoinIsBalanced(t *testing.T) {
+	rng := xrand.New(5)
+	ones := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		ones += New(0, 0, rng, Config{}).Coin()
+	}
+	rate := float64(ones) / trials
+	if math.Abs(rate-0.5) > 0.02 {
+		t.Fatalf("coin rate %v", rate)
+	}
+}
+
+func TestWriteBitRate(t *testing.T) {
+	rng := xrand.New(7)
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		p := New(0, 0, rng, Config{WriteProbs: []float64{0.2}})
+		if p.WriteBit(0) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.2) > 0.02 {
+		t.Fatalf("write bit rate %v, want about 0.2", rate)
+	}
+}
+
+func TestPriorityWithoutRoundsPanics(t *testing.T) {
+	p := New(0, 0, xrand.New(1), Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic reading missing priority")
+		}
+	}()
+	p.Priority(0)
+}
+
+func TestDistinctCountsPointers(t *testing.T) {
+	rng := xrand.New(9)
+	a := New(1, 0, rng, Config{})
+	b := New(1, 1, rng, Config{}) // same value, different persona
+	tests := []struct {
+		name string
+		give []*Persona[int]
+		want int
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "all nil", give: []*Persona[int]{nil, nil}, want: 0},
+		{name: "single", give: []*Persona[int]{a}, want: 1},
+		{name: "duplicated pointer", give: []*Persona[int]{a, a, a}, want: 1},
+		{name: "same value distinct personae", give: []*Persona[int]{a, b}, want: 2},
+		{name: "mixed with nil", give: []*Persona[int]{a, nil, b, a}, want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Distinct(tt.give); got != tt.want {
+				t.Errorf("Distinct = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExcess(t *testing.T) {
+	rng := xrand.New(11)
+	a := New(1, 0, rng, Config{})
+	b := New(2, 1, rng, Config{})
+	if got := Excess[int](nil); got != 0 {
+		t.Errorf("Excess(nil) = %d", got)
+	}
+	if got := Excess([]*Persona[int]{a}); got != 0 {
+		t.Errorf("Excess(single) = %d", got)
+	}
+	if got := Excess([]*Persona[int]{a, b}); got != 1 {
+		t.Errorf("Excess(two) = %d", got)
+	}
+}
+
+func TestDuplicatePriorityRareWithFullWidth(t *testing.T) {
+	// With full-width priorities, collisions across 1000 personae in one
+	// round should essentially never happen.
+	rng := xrand.New(13)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		p := New(i, i, rng, Config{PriorityRounds: 1})
+		pr := p.Priority(0)
+		if seen[pr] {
+			t.Fatal("full-width priority collision")
+		}
+		seen[pr] = true
+	}
+}
+
+func TestStringMentionsValue(t *testing.T) {
+	p := New("xyz", 3, xrand.New(1), Config{})
+	if s := p.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestWithValue(t *testing.T) {
+	rng := xrand.New(17)
+	p := New("", 4, rng, Config{PriorityRounds: 3, WriteProbs: []float64{0.5, 0.5}})
+	q := WithValue(p, "resolved")
+	if q == p {
+		t.Fatal("WithValue must return a distinct pointer")
+	}
+	if q.Value() != "resolved" {
+		t.Fatalf("Value = %q", q.Value())
+	}
+	if q.Origin() != p.Origin() || q.Coin() != p.Coin() {
+		t.Fatal("WithValue lost identity fields")
+	}
+	for i := 0; i < 3; i++ {
+		if q.Priority(i) != p.Priority(i) {
+			t.Fatalf("priority %d not shared", i)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if q.WriteBit(i) != p.WriteBit(i) {
+			t.Fatalf("write bit %d not shared", i)
+		}
+	}
+	if p.Value() != "" {
+		t.Fatal("WithValue mutated the original")
+	}
+}

@@ -1,0 +1,106 @@
+package rsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKind enumerates KV commands.
+type OpKind int
+
+const (
+	// OpSet writes Key = Value.
+	OpSet OpKind = iota + 1
+	// OpDel removes Key.
+	OpDel
+	// OpInc increments the integer stored at Key (missing keys count as
+	// zero; non-integers reset to 1).
+	OpInc
+)
+
+// String returns the op name.
+func (k OpKind) String() string {
+	switch k {
+	case OpSet:
+		return "set"
+	case OpDel:
+		return "del"
+	case OpInc:
+		return "inc"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is a key-value command. It is comparable, so it can be proposed to
+// consensus directly.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value string
+}
+
+// String renders the op for logs.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpDel, OpInc:
+		return fmt.Sprintf("%s %s", o.Kind, o.Key)
+	default:
+		return fmt.Sprintf("%s %s=%s", o.Kind, o.Key, o.Value)
+	}
+}
+
+// KV is a deterministic key-value state machine.
+type KV struct {
+	data map[string]string
+}
+
+var _ StateMachine[Op] = (*KV)(nil)
+
+// NewKV returns an empty store.
+func NewKV() *KV {
+	return &KV{data: make(map[string]string)}
+}
+
+// Apply implements StateMachine.
+func (kv *KV) Apply(cmd Op) {
+	switch cmd.Kind {
+	case OpSet:
+		kv.data[cmd.Key] = cmd.Value
+	case OpDel:
+		delete(kv.data, cmd.Key)
+	case OpInc:
+		n := 0
+		if cur, ok := kv.data[cmd.Key]; ok {
+			if _, err := fmt.Sscanf(cur, "%d", &n); err != nil {
+				n = 0
+			}
+		}
+		kv.data[cmd.Key] = fmt.Sprintf("%d", n+1)
+	}
+}
+
+// Get returns the value stored at key.
+func (kv *KV) Get(key string) (string, bool) {
+	v, ok := kv.data[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (kv *KV) Len() int { return len(kv.data) }
+
+// Fingerprint implements StateMachine: a canonical rendering of the full
+// state.
+func (kv *KV) Fingerprint() string {
+	keys := make([]string, 0, len(kv.data))
+	for k := range kv.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, kv.data[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+// Package rsm builds the classic downstream application of consensus — a
+// replicated state machine — on top of this repository's randomized
+// consensus protocols. n replicas receive different client commands; one
+// consensus instance per log slot forces every replica to append the same
+// command in the same order, so any deterministic state machine replayed
+// over the log reaches the same state on every replica.
+//
+// The package exists both as a usable library layer (the replicatedlog
+// example is a thin wrapper over it) and as an end-to-end integration
+// surface for the protocol stack: its tests check log identity and state
+// convergence across execution modes, schedules, and crash patterns.
+package rsm
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/oblivious-consensus/conciliator/internal/consensus"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+// Log is a replicated log for n replicas: slot s is decided by one
+// single-use consensus instance, created lazily and shared by all
+// replicas. A Log is safe for concurrent use by its n replicas.
+type Log[V comparable] struct {
+	n  int
+	mk func(n int) *consensus.Protocol[V]
+
+	mu    sync.Mutex
+	slots []*consensus.Protocol[V]
+}
+
+// NewLog returns a replicated log whose slots are decided by protocols
+// built with mk (e.g. consensus.NewRegister[V]).
+func NewLog[V comparable](n int, mk func(n int) *consensus.Protocol[V]) *Log[V] {
+	if n < 1 {
+		panic("rsm: need at least one replica")
+	}
+	if mk == nil {
+		panic("rsm: nil consensus factory")
+	}
+	return &Log[V]{n: n, mk: mk}
+}
+
+// Replicas returns the number of replicas n.
+func (l *Log[V]) Replicas() int { return l.n }
+
+// Propose runs consensus for slot with the given proposal on behalf of
+// process p, returning the slot's decided command. Each replica must
+// call Propose at most once per slot (the underlying consensus objects
+// are single-use per process).
+func (l *Log[V]) Propose(p *sim.Proc, slot int, v V) V {
+	return l.slotProtocol(slot).Propose(p, v)
+}
+
+// Slots returns how many slots have been instantiated so far.
+func (l *Log[V]) Slots() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.slots)
+}
+
+func (l *Log[V]) slotProtocol(slot int) *consensus.Protocol[V] {
+	if slot < 0 {
+		panic(fmt.Sprintf("rsm: negative slot %d", slot))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.slots) <= slot {
+		l.slots = append(l.slots, l.mk(l.n))
+	}
+	return l.slots[slot]
+}
+
+// StateMachine is a deterministic state machine replayed over the log.
+// Implementations need not be safe for concurrent use: each replica owns
+// its instance.
+type StateMachine[V comparable] interface {
+	// Apply executes one decided command.
+	Apply(cmd V)
+	// Fingerprint returns a comparable digest of the current state, used
+	// to verify replica convergence.
+	Fingerprint() string
+}
+
+// Replica drives one replica: it proposes its own pending commands slot
+// by slot, appends whatever each slot decides, and applies the decided
+// commands to its state machine.
+type Replica[V comparable] struct {
+	id  int
+	log *Log[V]
+	sm  StateMachine[V]
+
+	applied []V
+}
+
+// NewReplica returns replica id over the shared log, applying decided
+// commands to sm (which may be nil if only the log matters).
+func NewReplica[V comparable](id int, log *Log[V], sm StateMachine[V]) *Replica[V] {
+	if id < 0 || id >= log.Replicas() {
+		panic(fmt.Sprintf("rsm: replica id %d out of range", id))
+	}
+	return &Replica[V]{id: id, log: log, sm: sm}
+}
+
+// ID returns the replica id.
+func (r *Replica[V]) ID() int { return r.id }
+
+// Run proposes each pending command into consecutive slots starting at
+// startSlot, adopting the decided command for every slot. It returns the
+// decided commands in order. Commands that lose their slot are NOT
+// retried into later slots; callers wanting exactly-once submission
+// re-propose losers themselves (see the package tests).
+func (r *Replica[V]) Run(p *sim.Proc, startSlot int, pending []V) []V {
+	decided := make([]V, 0, len(pending))
+	for i, cmd := range pending {
+		v := r.log.Propose(p, startSlot+i, cmd)
+		r.append(v)
+		decided = append(decided, v)
+	}
+	return decided
+}
+
+// RunRetry proposes the pending commands with re-submission: a command
+// that loses its slot is retried in the next slot, until every pending
+// command has been committed (in some slot) or maxSlots is exhausted.
+// It returns the full decided log segment it observed.
+func (r *Replica[V]) RunRetry(p *sim.Proc, startSlot int, pending []V, maxSlots int) []V {
+	var decidedLog []V
+	next := 0
+	slot := startSlot
+	for next < len(pending) && slot < startSlot+maxSlots {
+		v := r.log.Propose(p, slot, pending[next])
+		r.append(v)
+		decidedLog = append(decidedLog, v)
+		if v == pending[next] {
+			next++
+		}
+		slot++
+	}
+	return decidedLog
+}
+
+// Applied returns the replica's decided-command log so far.
+func (r *Replica[V]) Applied() []V {
+	out := make([]V, len(r.applied))
+	copy(out, r.applied)
+	return out
+}
+
+// Fingerprint returns the state machine digest ("" without a state
+// machine).
+func (r *Replica[V]) Fingerprint() string {
+	if r.sm == nil {
+		return ""
+	}
+	return r.sm.Fingerprint()
+}
+
+func (r *Replica[V]) append(v V) {
+	r.applied = append(r.applied, v)
+	if r.sm != nil {
+		r.sm.Apply(v)
+	}
+}

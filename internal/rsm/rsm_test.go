@@ -1,0 +1,304 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/consensus"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+func TestLogValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero replicas", func() { NewLog[int](0, consensus.NewRegister[int]) })
+	mustPanic("nil factory", func() { NewLog[int](2, nil) })
+	log := NewLog[int](2, consensus.NewRegister[int])
+	mustPanic("negative slot", func() { log.slotProtocol(-1) })
+	mustPanic("bad replica id", func() { NewReplica(5, log, nil) })
+}
+
+// runReplicas executes one replica body per process under a controlled
+// schedule and returns the per-replica logs.
+func runReplicas[V comparable](t *testing.T, n int, src sched.Source, seed uint64,
+	body func(p *sim.Proc, r *Replica[V]) []V, log *Log[V], sms []StateMachine[V]) ([][]V, []bool) {
+	t.Helper()
+	logs := make([][]V, n)
+	replicas := make([]*Replica[V], n)
+	for i := 0; i < n; i++ {
+		var sm StateMachine[V]
+		if sms != nil {
+			sm = sms[i]
+		}
+		replicas[i] = NewReplica(i, log, sm)
+	}
+	_, finished, _, err := sim.Collect(src, sim.Config{AlgSeed: seed}, func(p *sim.Proc) struct{} {
+		logs[p.ID()] = body(p, replicas[p.ID()])
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logs, finished
+}
+
+func TestIdenticalLogsAcrossReplicas(t *testing.T) {
+	const (
+		n     = 5
+		slots = 6
+	)
+	log := NewLog[string](n, consensus.NewRegister[string])
+	pending := make([][]string, n)
+	for r := 0; r < n; r++ {
+		for s := 0; s < slots; s++ {
+			pending[r] = append(pending[r], fmt.Sprintf("cmd-%d-%d", r, s))
+		}
+	}
+	logs, finished := runReplicas(t, n, sched.NewRandom(n, xrand.New(3)), 5,
+		func(p *sim.Proc, r *Replica[string]) []string {
+			return r.Run(p, 0, pending[r.ID()])
+		}, log, nil)
+	for r := 0; r < n; r++ {
+		if !finished[r] {
+			t.Fatalf("replica %d unfinished", r)
+		}
+		if len(logs[r]) != slots {
+			t.Fatalf("replica %d log length %d", r, len(logs[r]))
+		}
+		for s := 0; s < slots; s++ {
+			if logs[r][s] != logs[0][s] {
+				t.Fatalf("slot %d: replica %d has %q, replica 0 has %q", s, r, logs[r][s], logs[0][s])
+			}
+		}
+	}
+	// Every decided command must be someone's proposal for that slot.
+	for s := 0; s < slots; s++ {
+		valid := false
+		for r := 0; r < n; r++ {
+			if logs[0][s] == pending[r][s] {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("slot %d decided %q, not proposed by anyone", s, logs[0][s])
+		}
+	}
+	if log.Slots() != slots {
+		t.Fatalf("Slots() = %d", log.Slots())
+	}
+}
+
+func TestKVStateConvergence(t *testing.T) {
+	const (
+		n     = 4
+		slots = 10
+	)
+	log := NewLog[Op](n, consensus.NewSnapshot[Op])
+	sms := make([]StateMachine[Op], n)
+	for i := range sms {
+		sms[i] = NewKV()
+	}
+	rng := xrand.New(11)
+	pending := make([][]Op, n)
+	keys := []string{"x", "y", "z"}
+	for r := 0; r < n; r++ {
+		for s := 0; s < slots; s++ {
+			op := Op{Kind: OpKind(rng.Intn(3) + 1), Key: keys[rng.Intn(len(keys))], Value: fmt.Sprintf("%d", rng.Intn(100))}
+			pending[r] = append(pending[r], op)
+		}
+	}
+	replicas := make([]*Replica[Op], n)
+	for i := 0; i < n; i++ {
+		replicas[i] = NewReplica(i, log, sms[i])
+	}
+	_, _, _, err := sim.Collect(sched.NewRandom(n, xrand.New(13)), sim.Config{AlgSeed: 17}, func(p *sim.Proc) struct{} {
+		replicas[p.ID()].Run(p, 0, pending[p.ID()])
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := replicas[0].Fingerprint()
+	if fp == "" {
+		t.Fatal("empty fingerprint with state machine attached")
+	}
+	for r := 1; r < n; r++ {
+		if got := replicas[r].Fingerprint(); got != fp {
+			t.Fatalf("replica %d state %q != replica 0 state %q", r, got, fp)
+		}
+	}
+}
+
+func TestRunRetryCommitsAllPending(t *testing.T) {
+	const n = 3
+	log := NewLog[string](n, consensus.NewRegister[string])
+	pending := [][]string{
+		{"a1", "a2"},
+		{"b1", "b2"},
+		{"c1", "c2"},
+	}
+	logs := make([][]string, n)
+	replicas := make([]*Replica[string], n)
+	for i := 0; i < n; i++ {
+		replicas[i] = NewReplica(i, log, nil)
+	}
+	_, _, _, err := sim.Collect(sched.NewRandom(n, xrand.New(19)), sim.Config{AlgSeed: 23}, func(p *sim.Proc) struct{} {
+		logs[p.ID()] = replicas[p.ID()].RunRetry(p, 0, pending[p.ID()], 32)
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each replica must see all of its own commands somewhere in its
+	// observed decided segment.
+	for r := 0; r < n; r++ {
+		seen := make(map[string]bool)
+		for _, v := range logs[r] {
+			seen[v] = true
+		}
+		for _, cmd := range pending[r] {
+			if !seen[cmd] {
+				t.Fatalf("replica %d never committed %q (log %v)", r, cmd, logs[r])
+			}
+		}
+	}
+	// Shared prefix property: where two replicas observed the same slot,
+	// they observed the same command.
+	minLen := len(logs[0])
+	for r := 1; r < n; r++ {
+		if len(logs[r]) < minLen {
+			minLen = len(logs[r])
+		}
+	}
+	for s := 0; s < minLen; s++ {
+		for r := 1; r < n; r++ {
+			if logs[r][s] != logs[0][s] {
+				t.Fatalf("slot %d diverges between replicas", s)
+			}
+		}
+	}
+}
+
+func TestReplicatedLogUnderCrash(t *testing.T) {
+	const n = 6
+	log := NewLog[int](n, consensus.NewRegister[int])
+	src := sched.NewCrashSet(sched.NewRandom(n, xrand.New(29)), []int{4, 5}, 40, 31)
+	logs, finished := runReplicas(t, n, src, 37,
+		func(p *sim.Proc, r *Replica[int]) []int {
+			pending := []int{r.ID()*10 + 1, r.ID()*10 + 2, r.ID()*10 + 3}
+			return r.Run(p, 0, pending)
+		}, log, nil)
+	// Surviving replicas must have identical logs.
+	var ref []int
+	for r := 0; r < n; r++ {
+		if !finished[r] {
+			continue
+		}
+		if ref == nil {
+			ref = logs[r]
+			continue
+		}
+		if len(logs[r]) != len(ref) {
+			t.Fatalf("survivor log lengths differ: %d vs %d", len(logs[r]), len(ref))
+		}
+		for s := range ref {
+			if logs[r][s] != ref[s] {
+				t.Fatalf("slot %d diverges among survivors", s)
+			}
+		}
+	}
+	if ref == nil {
+		t.Fatal("no survivors finished")
+	}
+}
+
+func TestConcurrentModeReplicas(t *testing.T) {
+	const (
+		n     = 4
+		slots = 5
+	)
+	log := NewLog[string](n, consensus.NewLinear[string])
+	logs := make([][]string, n)
+	replicas := make([]*Replica[string], n)
+	for i := 0; i < n; i++ {
+		replicas[i] = NewReplica(i, log, nil)
+	}
+	sim.RunConcurrent(n, func(p *sim.Proc) {
+		pending := make([]string, slots)
+		for s := range pending {
+			pending[s] = fmt.Sprintf("r%d-s%d", p.ID(), s)
+		}
+		logs[p.ID()] = replicas[p.ID()].Run(p, 0, pending)
+	}, sim.Config{AlgSeed: 41})
+	for r := 1; r < n; r++ {
+		for s := 0; s < slots; s++ {
+			if logs[r][s] != logs[0][s] {
+				t.Fatalf("slot %d diverges in concurrent mode", s)
+			}
+		}
+	}
+}
+
+func TestKVSemantics(t *testing.T) {
+	kv := NewKV()
+	steps := []struct {
+		op        Op
+		key, want string
+		present   bool
+	}{
+		{op: Op{Kind: OpSet, Key: "a", Value: "1"}, key: "a", want: "1", present: true},
+		{op: Op{Kind: OpInc, Key: "a"}, key: "a", want: "2", present: true},
+		{op: Op{Kind: OpInc, Key: "b"}, key: "b", want: "1", present: true},
+		{op: Op{Kind: OpSet, Key: "b", Value: "zz"}, key: "b", want: "zz", present: true},
+		{op: Op{Kind: OpInc, Key: "b"}, key: "b", want: "1", present: true}, // non-integer resets
+		{op: Op{Kind: OpDel, Key: "a"}, key: "a", want: "", present: false},
+	}
+	for i, st := range steps {
+		kv.Apply(st.op)
+		got, ok := kv.Get(st.key)
+		if ok != st.present || got != st.want {
+			t.Fatalf("step %d (%v): got (%q, %v), want (%q, %v)", i, st.op, got, ok, st.want, st.present)
+		}
+	}
+	if kv.Len() != 1 {
+		t.Fatalf("Len = %d", kv.Len())
+	}
+	if kv.Fingerprint() != "b=1;" {
+		t.Fatalf("Fingerprint = %q", kv.Fingerprint())
+	}
+}
+
+func TestKVFingerprintCanonical(t *testing.T) {
+	a, b := NewKV(), NewKV()
+	a.Apply(Op{Kind: OpSet, Key: "x", Value: "1"})
+	a.Apply(Op{Kind: OpSet, Key: "y", Value: "2"})
+	b.Apply(Op{Kind: OpSet, Key: "y", Value: "2"})
+	b.Apply(Op{Kind: OpSet, Key: "x", Value: "1"})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on insertion order")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if (Op{Kind: OpSet, Key: "k", Value: "v"}).String() != "set k=v" {
+		t.Fatal("set rendering")
+	}
+	if (Op{Kind: OpDel, Key: "k"}).String() != "del k" {
+		t.Fatal("del rendering")
+	}
+	if (Op{Kind: OpInc, Key: "k"}).String() != "inc k" {
+		t.Fatal("inc rendering")
+	}
+	if OpKind(9).String() != "OpKind(9)" {
+		t.Fatal("unknown kind rendering")
+	}
+}

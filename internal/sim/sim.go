@@ -1,0 +1,349 @@
+// Package sim executes n process bodies against the shared-memory
+// substrate under either of two execution modes:
+//
+//   - Controlled: a deterministic scheduler drives processes one
+//     shared-memory operation at a time following a sched.Source. The
+//     resulting execution is a pure function of (algorithm seed, schedule
+//     source), operations never overlap in real time, and per-process step
+//     counts are exact. This is the mode every experiment uses and is the
+//     direct implementation of the paper's model: at each slot the next
+//     process in the schedule executes one operation of its choosing, and
+//     slots allocated to finished processes are uncharged no-ops
+//     (Section 1.1).
+//
+//   - Concurrent: processes run as free goroutines over the same
+//     linearizable objects, with the Go runtime as the (weak, effectively
+//     content-oblivious) scheduler. Used by the examples and the -race
+//     tests to show the identical algorithm code running as an ordinary
+//     concurrent Go program.
+//
+// Process bodies receive a *Proc, which carries the process id, a private
+// deterministic RNG stream, and the step gate implementing memory.Context.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// ErrScheduleExhausted reports that a finite schedule ended before every
+// live process finished.
+var ErrScheduleExhausted = errors.New("sim: schedule exhausted before all processes finished")
+
+// ErrSlotBudget reports that the safety valve on total schedule slots
+// fired, which almost always means a protocol failed to terminate.
+var ErrSlotBudget = errors.New("sim: slot budget exceeded")
+
+// Proc is the handle a process body uses to interact with the simulation.
+// It implements memory.Context: every shared-memory operation calls Step,
+// which in controlled mode blocks until the adversary schedules the
+// process and always charges one step.
+type Proc struct {
+	id    int
+	rng   *xrand.Rand
+	steps atomic.Int64
+
+	// Controlled-mode gating; nil in concurrent mode.
+	ready chan struct{}
+	grant chan struct{}
+
+	// aborted is set once the modeled execution has ended (schedule
+	// exhausted or budget exceeded); the next Step exits the goroutine so
+	// that non-terminating bodies can be reclaimed.
+	aborted atomic.Bool
+}
+
+var _ memory.Context = (*Proc)(nil)
+
+// ID returns the process id in [0, n).
+func (p *Proc) ID() int { return p.id }
+
+// Rng returns the process's private random stream. The stream derives
+// only from the algorithm seed, never from the schedule, so the adversary
+// is oblivious to it.
+func (p *Proc) Rng() *xrand.Rand { return p.rng }
+
+// Steps returns the number of shared-memory steps charged so far.
+func (p *Proc) Steps() int64 { return p.steps.Load() }
+
+// Step implements memory.Context.
+func (p *Proc) Step() {
+	if p.ready != nil {
+		if p.aborted.Load() {
+			// The modeled execution is over and this process will never
+			// be scheduled again; unwind the goroutine (deferred cleanup
+			// in the runner still runs).
+			runtime.Goexit()
+		}
+		p.ready <- struct{}{}
+		<-p.grant
+	}
+	p.steps.Add(1)
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// AlgSeed seeds the per-process RNG streams. Two runs with equal
+	// AlgSeed and equal schedules are identical.
+	AlgSeed uint64
+
+	// MaxSlots bounds the number of schedule slots consumed in controlled
+	// mode; exceeding it aborts the run with ErrSlotBudget. Zero means
+	// the default of 1 << 26.
+	MaxSlots int64
+}
+
+const defaultMaxSlots = 1 << 26
+
+// Result reports what happened during a run.
+type Result struct {
+	// Steps[i] is the number of shared-memory operations process i
+	// executed.
+	Steps []int64
+	// TotalSteps is the sum of Steps.
+	TotalSteps int64
+	// Slots is the number of schedule slots consumed, including uncharged
+	// no-op slots for finished processes (controlled mode only).
+	Slots int64
+	// Finished[i] reports whether process i ran to completion. Processes
+	// crashed by the schedule never finish.
+	Finished []bool
+}
+
+// MaxSteps returns the maximum per-process step count (the individual
+// step complexity of the execution).
+func (r Result) MaxSteps() int64 {
+	var max int64
+	for _, s := range r.Steps {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Body is a process body: protocol code executed by process p.
+type Body func(p *Proc)
+
+// RunControlled executes n copies of body under the given schedule. It
+// returns once every live process has finished, the schedule is exhausted
+// (finite schedules), or the slot budget fires.
+func RunControlled(src sched.Source, body Body, cfg Config) (Result, error) {
+	n := src.N()
+	procs := make([]*Proc, n)
+	finished := make([]chan struct{}, n)
+	rng := xrand.New(cfg.AlgSeed)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		procs[i] = &Proc{
+			id:    i,
+			rng:   rng.ForkNamed(uint64(i)),
+			ready: make(chan struct{}, 1),
+			grant: make(chan struct{}),
+		}
+		finished[i] = make(chan struct{})
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(finished[i])
+			body(procs[i])
+		}()
+	}
+
+	res, parked, err := drive(src, procs, finished, cfg)
+
+	// Unblock and drain any processes still blocked at Step so their
+	// goroutines exit; their remaining operations execute after the
+	// modeled execution ended and are neither scheduled nor charged
+	// against the result (the result snapshot was taken in drive). A
+	// process whose ready token was already consumed ("parked") is
+	// blocked on grant and must be granted first.
+	var drainWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if res.Finished[i] {
+			continue
+		}
+		i := i
+		procs[i].aborted.Store(true)
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			if parked[i] {
+				procs[i].grant <- struct{}{}
+			}
+			for {
+				select {
+				case <-finished[i]:
+					return
+				case <-procs[i].ready:
+					procs[i].grant <- struct{}{}
+				}
+			}
+		}()
+	}
+	drainWG.Wait()
+	wg.Wait()
+	return res, err
+}
+
+// drive is the adversary loop: one schedule slot per iteration. The
+// returned parked slice reports which processes still hold a consumed
+// ready token (blocked on grant) so the caller can unblock them.
+func drive(src sched.Source, procs []*Proc, finished []chan struct{}, cfg Config) (Result, []bool, error) {
+	n := len(procs)
+	maxSlots := cfg.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = defaultMaxSlots
+	}
+	var (
+		slots   int64
+		done    = make([]bool, n)
+		doneCnt int
+		err     error
+	)
+	alive := func(pid int) bool {
+		if ca, ok := src.(sched.CrashAware); ok {
+			return ca.Alive(pid)
+		}
+		return true
+	}
+	// park waits until pid is either blocked at Step or finished, and
+	// records completion. Processes are sequential, so "parked or
+	// finished" certifies that the previously granted operation fully
+	// completed; this is what makes the controlled execution
+	// deterministic rather than merely linearizable.
+	park := func(pid int) bool {
+		if done[pid] {
+			return false
+		}
+		select {
+		case <-procs[pid].ready:
+			return true
+		case <-finished[pid]:
+			done[pid] = true
+			doneCnt++
+			return false
+		}
+	}
+
+	// Park every live process once so the first slot finds a quiescent
+	// system. (A body that performs no shared-memory operations finishes
+	// here immediately.)
+	parked := make([]bool, n)
+	for pid := 0; pid < n; pid++ {
+		if alive(pid) {
+			parked[pid] = park(pid)
+		}
+	}
+
+	liveDone := func() bool {
+		for pid := 0; pid < n; pid++ {
+			if alive(pid) && !done[pid] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for !liveDone() {
+		if slots >= maxSlots {
+			err = fmt.Errorf("%w (budget %d)", ErrSlotBudget, maxSlots)
+			break
+		}
+		pid := src.Next()
+		if pid == sched.Exhausted {
+			err = ErrScheduleExhausted
+			break
+		}
+		slots++
+		if done[pid] || !alive(pid) {
+			continue // uncharged no-op slot, per the model
+		}
+		if !parked[pid] {
+			// The process was scheduled before ever parking (possible
+			// only if it was skipped during the initial parking pass as
+			// not-alive; defensive).
+			parked[pid] = park(pid)
+			if !parked[pid] {
+				continue
+			}
+		}
+		parked[pid] = false
+		procs[pid].grant <- struct{}{}
+		parked[pid] = park(pid)
+	}
+
+	res := Result{
+		Steps:    make([]int64, n),
+		Slots:    slots,
+		Finished: make([]bool, n),
+	}
+	for pid := 0; pid < n; pid++ {
+		res.Steps[pid] = procs[pid].Steps()
+		res.TotalSteps += res.Steps[pid]
+		res.Finished[pid] = done[pid]
+	}
+	return res, parked, err
+}
+
+// RunConcurrent executes n copies of body as free-running goroutines and
+// waits for all of them. The Go scheduler plays the adversary; since it
+// cannot observe the processes' private RNG streams, it is (heuristically)
+// a weak adversary in the paper's sense.
+func RunConcurrent(n int, body Body, cfg Config) Result {
+	procs := make([]*Proc, n)
+	rng := xrand.New(cfg.AlgSeed)
+	for i := 0; i < n; i++ {
+		procs[i] = &Proc{id: i, rng: rng.ForkNamed(uint64(i))}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(procs[i])
+		}()
+	}
+	wg.Wait()
+	res := Result{
+		Steps:    make([]int64, n),
+		Finished: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		res.Steps[i] = procs[i].Steps()
+		res.TotalSteps += res.Steps[i]
+		res.Finished[i] = true
+	}
+	return res
+}
+
+// Collect runs body under the controlled scheduler and gathers one output
+// value per process. Crashed (never-finished) processes report ok=false.
+func Collect[V any](src sched.Source, cfg Config, body func(p *Proc) V) ([]V, []bool, Result, error) {
+	n := src.N()
+	outs := make([]V, n)
+	res, err := RunControlled(src, func(p *Proc) {
+		outs[p.ID()] = body(p)
+	}, cfg)
+	return outs, res.Finished, res, err
+}
+
+// CollectConcurrent is Collect for the concurrent mode.
+func CollectConcurrent[V any](n int, cfg Config, body func(p *Proc) V) ([]V, Result) {
+	outs := make([]V, n)
+	res := RunConcurrent(n, func(p *Proc) {
+		outs[p.ID()] = body(p)
+	}, cfg)
+	return outs, res
+}

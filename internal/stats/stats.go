@@ -1,0 +1,199 @@
+// Package stats provides the small statistical and integer-logarithm
+// toolkit used by the experiment harness: summaries with confidence
+// intervals, quantiles, simple linear regression (for growth-rate
+// checks), and the iterated-logarithm helpers that appear in the paper's
+// bounds.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary aggregates a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval for the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci95".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.CI95())
+}
+
+// SummarizeInts converts and summarizes integer observations.
+func SummarizeInts(xs []int64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using nearest-rank
+// on a sorted copy. An empty sample returns 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(cp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return cp[idx]
+}
+
+// Proportion returns the fraction of true values and the half-width of its
+// 95% Wald interval.
+func Proportion(hits, trials int) (p, ci float64) {
+	if trials == 0 {
+		return 0, 0
+	}
+	p = float64(hits) / float64(trials)
+	ci = 1.96 * math.Sqrt(p*(1-p)/float64(trials))
+	return p, ci
+}
+
+// LinearFit fits y = a + b*x by least squares and returns (a, b). It
+// requires len(xs) == len(ys) and at least two points; otherwise it
+// returns zeros.
+func LinearFit(xs, ys []float64) (a, b float64) {
+	n := len(xs)
+	if n < 2 || len(ys) != n {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return sy / float64(n), 0
+	}
+	b = (float64(n)*sxy - sx*sy) / den
+	a = (sy - b*sx) / float64(n)
+	return a, b
+}
+
+// Log2 returns the base-2 logarithm of n (as float), with Log2(x<=0) = 0.
+func Log2(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// LogStar returns the iterated logarithm log* n with the paper's
+// convention: log* n = 0 for n <= 1, else 1 + log*(log2 n).
+func LogStar(n float64) int {
+	count := 0
+	for n > 1 {
+		n = math.Log2(n)
+		count++
+		if count > 64 {
+			break // unreachable for IEEE doubles; safety
+		}
+	}
+	return count
+}
+
+// CeilLogLog returns ceil(log2 log2 n), the round count of the sifting
+// phase, with the convention CeilLogLog(n) = 0 for n <= 2.
+func CeilLogLog(n int) int {
+	if n <= 2 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(math.Log2(float64(n)))))
+}
+
+// CeilLog2 returns ceil(log2 n) with CeilLog2(n<=1) = 0.
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// CeilLogBase returns ceil(log_base x) for base > 1, x >= 1.
+func CeilLogBase(base, x float64) int {
+	if x <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log(x) / math.Log(base)))
+}
+
+// SifterDecayBound returns the closed-form x_i of the paper's equation
+// (2): x_i = 2^(2-2^(1-i)) * (n-1)^(2^-i), the bound on the expected
+// number of excess personae after round i of Algorithm 2 (i >= 1).
+func SifterDecayBound(n, i int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	e := math.Pow(2, float64(-i))
+	return math.Pow(2, 2-2*e) * math.Pow(float64(n-1), e)
+}
+
+// PriorityDecayBound iterates the Lemma 1 map f(x) = min(ln(x+1), x/2)
+// starting from n-1, returning the bound on E[X_i] after i rounds of
+// Algorithm 1.
+func PriorityDecayBound(n, i int) float64 {
+	x := float64(n - 1)
+	for r := 0; r < i; r++ {
+		x = math.Min(math.Log(x+1), x/2)
+	}
+	return x
+}

@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Fatal("CI95 of empty sample nonzero")
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	// Sample (Bessel) standard deviation of this classic set is
+	// sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int64{1, 2, 3})
+	if s.Mean != 2 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.9, 5}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v", got)
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 5 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestProportion(t *testing.T) {
+	p, ci := Proportion(50, 100)
+	if p != 0.5 {
+		t.Fatalf("p = %v", p)
+	}
+	if math.Abs(ci-1.96*math.Sqrt(0.25/100)) > 1e-12 {
+		t.Fatalf("ci = %v", ci)
+	}
+	if p, ci := Proportion(0, 0); p != 0 || ci != 0 {
+		t.Fatal("zero-trial proportion not zero")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b := LinearFit(xs, ys)
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 {
+		t.Fatalf("fit = (%v, %v)", a, b)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if a, b := LinearFit([]float64{1}, []float64{2}); a != 0 || b != 0 {
+		t.Fatal("short fit should be zero")
+	}
+	if a, b := LinearFit([]float64{2, 2}, []float64{1, 3}); b != 0 || a != 2 {
+		t.Fatalf("vertical fit = (%v, %v)", a, b)
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	tests := []struct {
+		n    float64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {4, 2}, {16, 3}, {256, 4}, {65536, 4},
+		{65537, 5}, {1e30, 5},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.n); got != tt.want {
+			t.Errorf("LogStar(%v) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestCeilLogLog(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{1, 0}, {2, 0}, {4, 1}, {5, 2}, {16, 2}, {17, 3}, {256, 3}, {65536, 4}, {1 << 20, 5},
+	}
+	for _, tt := range tests {
+		if got := CeilLogLog(tt.n); got != tt.want {
+			t.Errorf("CeilLogLog(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10},
+	}
+	for _, tt := range tests {
+		if got := CeilLog2(tt.n); got != tt.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestCeilLogBase(t *testing.T) {
+	// log_{4/3}(32) = ln 32 / ln(4/3) ~ 12.04 -> 13
+	if got := CeilLogBase(4.0/3.0, 32); got != 13 {
+		t.Errorf("CeilLogBase(4/3, 32) = %d", got)
+	}
+	if got := CeilLogBase(2, 1); got != 0 {
+		t.Errorf("CeilLogBase(2, 1) = %d", got)
+	}
+}
+
+func TestLog2Guard(t *testing.T) {
+	if Log2(-1) != 0 || Log2(0) != 0 {
+		t.Fatal("Log2 guard failed")
+	}
+	if Log2(8) != 3 {
+		t.Fatal("Log2(8) != 3")
+	}
+}
+
+func TestSifterDecayBound(t *testing.T) {
+	// x_1 = 2 sqrt(n-1); x_i shrinks toward 4 as i grows; below 8 at
+	// i = ceil(log log n) (the paper computes < 8).
+	n := 1 << 10
+	if got, want := SifterDecayBound(n, 1), 2*math.Sqrt(float64(n-1)); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("x_1 = %v, want %v", got, want)
+	}
+	i := CeilLogLog(n)
+	if got := SifterDecayBound(n, i); got >= 8 {
+		t.Fatalf("x_loglog = %v, want < 8", got)
+	}
+	if SifterDecayBound(1, 3) != 0 {
+		t.Fatal("n=1 bound should be 0")
+	}
+	// Monotone decrease in i (for n large enough that x_i > 4).
+	prev := SifterDecayBound(n, 1)
+	for i := 2; i <= 6; i++ {
+		cur := SifterDecayBound(n, i)
+		if cur > prev+1e-9 {
+			t.Fatalf("x_i increased at i=%d: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestPriorityDecayBound(t *testing.T) {
+	// After log* n + O(1) rounds the bound drops below 1.
+	n := 1 << 16
+	r := LogStar(float64(n)) + 1
+	if got := PriorityDecayBound(n, r); got > 1 {
+		t.Fatalf("bound after log*+1 rounds = %v, want <= 1", got)
+	}
+	if got := PriorityDecayBound(n, 0); got != float64(n-1) {
+		t.Fatalf("round-0 bound = %v", got)
+	}
+	// Each application of f at most halves the bound once it is small.
+	small := PriorityDecayBound(n, r)
+	next := PriorityDecayBound(n, r+1)
+	if next > small/2+1e-9 {
+		t.Fatalf("f did not halve: %v -> %v", small, next)
+	}
+}
+
+func TestSummarizeMatchesNaiveProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		sum := 0.0
+		for i, r := range raw {
+			xs[i] = float64(r)
+			sum += float64(r)
+		}
+		s := Summarize(xs)
+		return math.Abs(s.Mean-sum/float64(len(raw))) < 1e-9 &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

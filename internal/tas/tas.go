@@ -1,0 +1,115 @@
+// Package tas implements a sifting test-and-set in the style of
+// Alistarh–Aspnes [1], the protocol whose sift rounds inspired
+// Algorithm 2 (and which the paper's conclusions compare against).
+//
+// Each sifting round uses one register: a process either writes it (with
+// probability p_i) and survives, or reads it and survives only if the
+// register is still empty — otherwise it loses immediately and returns
+// false. This is exactly the paper's observation about the difference
+// between the two problems: a test-and-set loser can leave as soon as it
+// knows *someone* is still in the game, whereas a conciliator participant
+// must adopt a specific value and keep going.
+//
+// After the sifting rounds an expected O(1) contenders remain; the
+// implementation resolves them with an id-consensus tie-break (built from
+// this repository's own consensus protocol), so exactly one process wins.
+package tas
+
+import (
+	"sync/atomic"
+
+	"github.com/oblivious-consensus/conciliator/internal/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/consensus"
+	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+// Config parameterizes the sifting test-and-set.
+type Config struct {
+	// Rounds overrides the number of sifting rounds (0 = ceil(log log n)
+	// + 4, matching the Alistarh–Aspnes depth plus slack rounds).
+	Rounds int
+
+	// Probs overrides the per-round write probabilities (default: the
+	// same tuned schedule as Algorithm 2, which is where it came from).
+	Probs []float64
+}
+
+// TestAndSet is a single-use randomized test-and-set object for n
+// processes: each process calls Acquire at most once and exactly one
+// caller wins.
+type TestAndSet struct {
+	n      int
+	rounds int
+	probs  []float64
+	regs   *memory.RegisterArray[struct{}]
+	tie    *consensus.Protocol[int]
+
+	entered   []atomic.Int64 // contenders entering each round
+	finalists atomic.Int64
+}
+
+// New returns a sifting test-and-set instance for n processes.
+func New(n int, cfg Config) *TestAndSet {
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = conciliator.SifterRounds(n, 0.5)
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	probs := conciliator.SifterProbs(n, rounds)
+	if len(cfg.Probs) > 0 {
+		for i := range probs {
+			if i < len(cfg.Probs) {
+				probs[i] = cfg.Probs[i]
+			} else {
+				probs[i] = cfg.Probs[len(cfg.Probs)-1]
+			}
+		}
+	}
+	return &TestAndSet{
+		n:       n,
+		rounds:  rounds,
+		probs:   probs,
+		regs:    memory.NewRegisterArray[struct{}](rounds),
+		tie:     consensus.NewRegister[int](n),
+		entered: make([]atomic.Int64, rounds+1),
+	}
+}
+
+// Rounds returns the number of sifting rounds.
+func (t *TestAndSet) Rounds() int { return t.rounds }
+
+// Acquire runs the protocol for process p and reports whether it won.
+func (t *TestAndSet) Acquire(p *sim.Proc) bool {
+	for i := 0; i < t.rounds; i++ {
+		t.entered[i].Add(1)
+		if p.Rng().Bernoulli(t.probs[i]) {
+			t.regs.At(i).Write(p, struct{}{})
+			continue
+		}
+		if _, taken := t.regs.At(i).Read(p); taken {
+			return false // someone is still contending; safe to lose
+		}
+	}
+	t.entered[t.rounds].Add(1)
+	t.finalists.Add(1)
+	// Tie-break among the remaining contenders: consensus on contender
+	// ids; the elected id wins.
+	return t.tie.Propose(p, p.ID()) == p.ID()
+}
+
+// ContendersPerRound returns how many processes entered each sifting
+// round (index 0 = everyone who called Acquire), plus the number of
+// finalists as the last entry.
+func (t *TestAndSet) ContendersPerRound() []int64 {
+	out := make([]int64, len(t.entered))
+	for i := range t.entered {
+		out[i] = t.entered[i].Load()
+	}
+	return out
+}
+
+// Finalists returns how many processes survived every sifting round.
+func (t *TestAndSet) Finalists() int64 { return t.finalists.Load() }

@@ -1,0 +1,121 @@
+// Package trace provides execution-capture utilities: a recording
+// schedule source that allows any controlled run to be replayed exactly
+// (the debugging workflow for probabilistic protocols), and a small
+// concurrency-safe event log used when instrumenting runs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+)
+
+// RecordingSource wraps a schedule source and records every slot it
+// emits, so the exact schedule of a run — including one produced by a
+// stateful random source — can be replayed later as an explicit schedule.
+type RecordingSource struct {
+	inner sched.Source
+	slots []int
+}
+
+var _ sched.Source = (*RecordingSource)(nil)
+
+// Record wraps src.
+func Record(src sched.Source) *RecordingSource {
+	return &RecordingSource{inner: src}
+}
+
+// N implements sched.Source.
+func (r *RecordingSource) N() int { return r.inner.N() }
+
+// Next implements sched.Source, recording the emitted slot.
+func (r *RecordingSource) Next() int {
+	id := r.inner.Next()
+	if id != sched.Exhausted {
+		r.slots = append(r.slots, id)
+	}
+	return id
+}
+
+// Alive forwards crash-awareness when the inner source provides it.
+func (r *RecordingSource) Alive(pid int) bool {
+	if ca, ok := r.inner.(sched.CrashAware); ok {
+		return ca.Alive(pid)
+	}
+	return true
+}
+
+// Slots returns a copy of the recorded schedule so far.
+func (r *RecordingSource) Slots() []int {
+	out := make([]int, len(r.slots))
+	copy(out, r.slots)
+	return out
+}
+
+// Replay returns an explicit schedule reproducing the recorded run.
+func (r *RecordingSource) Replay() *sched.Explicit {
+	return sched.NewExplicit(r.inner.N(), r.Slots())
+}
+
+// Event is one recorded protocol event.
+type Event struct {
+	// Proc is the process id the event belongs to (-1 for global).
+	Proc int
+	// Round is the protocol round, when meaningful (-1 otherwise).
+	Round int
+	// What describes the event.
+	What string
+}
+
+// String renders the event.
+func (e Event) String() string {
+	switch {
+	case e.Proc < 0:
+		return e.What
+	case e.Round < 0:
+		return fmt.Sprintf("p%d: %s", e.Proc, e.What)
+	default:
+		return fmt.Sprintf("p%d r%d: %s", e.Proc, e.Round, e.What)
+	}
+}
+
+// Log is an append-only, concurrency-safe event log.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add appends an event.
+func (l *Log) Add(proc, round int, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Proc: proc, Round: round, What: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the recorded events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// String renders the log, one event per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

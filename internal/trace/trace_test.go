@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+func TestRecordingSourceDelegates(t *testing.T) {
+	rec := Record(sched.NewRoundRobin(3))
+	if rec.N() != 3 {
+		t.Fatalf("N = %d", rec.N())
+	}
+	want := []int{0, 1, 2, 0}
+	for i, w := range want {
+		if got := rec.Next(); got != w {
+			t.Fatalf("slot %d = %d, want %d", i, got, w)
+		}
+	}
+	slots := rec.Slots()
+	if len(slots) != 4 {
+		t.Fatalf("recorded %d slots", len(slots))
+	}
+	for i, w := range want {
+		if slots[i] != w {
+			t.Fatalf("recorded slot %d = %d", i, slots[i])
+		}
+	}
+	// Slots must be a copy.
+	slots[0] = 99
+	if rec.Slots()[0] == 99 {
+		t.Fatal("Slots aliases internal state")
+	}
+}
+
+func TestRecordingSourceDoesNotRecordExhausted(t *testing.T) {
+	rec := Record(sched.NewExplicit(2, []int{0, 1}))
+	for i := 0; i < 5; i++ {
+		rec.Next()
+	}
+	if got := len(rec.Slots()); got != 2 {
+		t.Fatalf("recorded %d slots, want 2", got)
+	}
+}
+
+func TestRecordingSourceAlive(t *testing.T) {
+	rec := Record(sched.NewRoundRobin(2))
+	if !rec.Alive(0) || !rec.Alive(1) {
+		t.Fatal("plain source should report all alive")
+	}
+	crash := Record(sched.NewCrashHalf(4, xrand.New(1)))
+	// Drain past the cutoff, then at least one process must be dead.
+	for i := 0; i < 1000; i++ {
+		crash.Next()
+	}
+	dead := 0
+	for pid := 0; pid < 4; pid++ {
+		if !crash.Alive(pid) {
+			dead++
+		}
+	}
+	if dead != 2 {
+		t.Fatalf("%d dead, want 2", dead)
+	}
+}
+
+func TestReplayReproducesRun(t *testing.T) {
+	// Record a run under a random schedule, then replay it and verify
+	// the observable execution is identical.
+	body := func(order *[]int) sim.Body {
+		reg := memory.NewRegister[int]()
+		return func(p *sim.Proc) {
+			for i := 0; i < 5; i++ {
+				reg.Write(p, p.ID())
+				*order = append(*order, p.ID())
+			}
+		}
+	}
+
+	var first []int
+	rec := Record(sched.NewRandom(4, xrand.New(99)))
+	if _, err := sim.RunControlled(rec, body(&first), sim.Config{AlgSeed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var second []int
+	if _, err := sim.RunControlled(rec.Replay(), body(&second), sim.Config{AlgSeed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(first) != len(second) {
+		t.Fatalf("lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at op %d", i)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	tests := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Proc: -1, Round: -1, What: "global"}, "global"},
+		{Event{Proc: 2, Round: -1, What: "op"}, "p2: op"},
+		{Event{Proc: 1, Round: 3, What: "adopt"}, "p1 r3: adopt"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestLogConcurrentAppend(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Add(w, i, "event %d", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	s := l.String()
+	if !strings.Contains(s, "p0 r0: event 0") {
+		t.Fatal("rendered log missing expected line")
+	}
+	// Events must be a copy.
+	evs := l.Events()
+	evs[0].What = "mutated"
+	if l.Events()[0].What == "mutated" {
+		t.Fatal("Events aliases internal state")
+	}
+}

@@ -1,0 +1,268 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("streams for different seeds collided %d/64 times", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero seed produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Fork()
+	// The child's stream must not simply replay the parent's.
+	matches := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			matches++
+		}
+	}
+	if matches > 1 {
+		t.Fatalf("fork stream tracked parent %d/64 times", matches)
+	}
+}
+
+func TestForkDeterministic(t *testing.T) {
+	c1 := New(9).Fork()
+	c2 := New(9).Fork()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("forked children of equal parents diverged at draw %d", i)
+		}
+	}
+}
+
+func TestForkNamedDistinct(t *testing.T) {
+	a := New(5).ForkNamed(1)
+	b := New(5).ForkNamed(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("named forks with different labels collided %d/64 times", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(3)
+	if err := quick.Check(func(n uint64) bool {
+		n = n%1000 + 1
+		v := r.Uint64n(n)
+		return v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n == 0")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	const (
+		n      = 10
+		draws  = 100000
+		expect = draws / n
+	)
+	r := New(11)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c-expect)) > 0.05*float64(expect) {
+			t.Errorf("value %d drawn %d times, want about %d", v, c, expect)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want about 0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(19)
+	const draws = 200000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	rate := float64(hits) / draws
+	if math.Abs(rate-0.25) > 0.01 {
+		t.Fatalf("Bernoulli(0.25) hit rate %v", rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	if err := quick.Check(func(raw uint8) bool {
+		n := int(raw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	const (
+		n     = 5
+		draws = 50000
+	)
+	r := New(29)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	expect := draws / n
+	for v, c := range counts {
+		if math.Abs(float64(c-expect)) > 0.08*float64(expect) {
+			t.Errorf("Perm first element %d seen %d times, want about %d", v, c, expect)
+		}
+	}
+}
+
+func TestShuffleMatchesPermMechanics(t *testing.T) {
+	a := New(31)
+	b := New(31)
+	n := 20
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	a.Shuffle(n, func(i, j int) { s[i], s[j] = s[j], s[i] })
+	p := b.Perm(n)
+	for i := range p {
+		if s[i] != p[i] {
+			t.Fatalf("Shuffle and Perm diverge at %d: %v vs %v", i, s, p)
+		}
+	}
+}
+
+func TestBitsLengthAndMask(t *testing.T) {
+	r := New(37)
+	tests := []struct {
+		k         int
+		wantWords int
+	}{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, tt := range tests {
+		w := r.Bits(tt.k)
+		if len(w) != tt.wantWords {
+			t.Errorf("Bits(%d): %d words, want %d", tt.k, len(w), tt.wantWords)
+			continue
+		}
+		if rem := tt.k % 64; rem != 0 && len(w) > 0 {
+			if w[len(w)-1]>>rem != 0 {
+				t.Errorf("Bits(%d): tail bits not masked", tt.k)
+			}
+		}
+	}
+}
+
+func TestBitsNegative(t *testing.T) {
+	if got := New(1).Bits(-3); got != nil {
+		t.Fatalf("Bits(-3) = %v, want nil", got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
