@@ -38,6 +38,75 @@ func benchRun(b *testing.B, n int, algSeed, schedSeed uint64, body func(p *sim.P
 	return res
 }
 
+// BenchmarkControlledSteps measures raw controlled-mode simulator
+// throughput (the binding constraint on every experiment sweep): n
+// processes each perform a fixed number of trivial shared-memory steps
+// and the benchmark reports modeled steps and schedule slots per second.
+// The skewed-tail case leaves one process running long after the rest
+// finish, so most slots are uncharged no-ops — the case the bulk
+// slot-skipping fast path exists for.
+func BenchmarkControlledSteps(b *testing.B) {
+	cases := []struct {
+		name  string
+		n     int
+		steps func(pid int) int
+		mk    func(n int, seed uint64) sched.Source
+	}{
+		{
+			name:  "round-robin/n=8",
+			n:     8,
+			steps: func(int) int { return 2048 },
+			mk:    func(n int, _ uint64) sched.Source { return sched.NewRoundRobin(n) },
+		},
+		{
+			name:  "round-robin/n=64",
+			n:     64,
+			steps: func(int) int { return 256 },
+			mk:    func(n int, _ uint64) sched.Source { return sched.NewRoundRobin(n) },
+		},
+		{
+			name:  "random/n=64",
+			n:     64,
+			steps: func(int) int { return 256 },
+			mk:    func(n int, seed uint64) sched.Source { return sched.NewRandom(n, xrand.New(seed)) },
+		},
+		{
+			name: "skewed-tail/n=64",
+			n:    64,
+			steps: func(pid int) int {
+				if pid == 0 {
+					return 4096
+				}
+				return 1
+			},
+			mk: func(n int, _ uint64) sched.Source { return sched.NewRoundRobin(n) },
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var totalSteps, totalSlots int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunControlled(tc.mk(tc.n, uint64(i)+1), func(p *sim.Proc) {
+					for s := tc.steps(p.ID()); s > 0; s-- {
+						p.Step()
+					}
+				}, sim.Config{AlgSeed: uint64(i) + 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalSteps += res.TotalSteps
+				totalSlots += res.Slots
+			}
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(totalSteps)/secs, "steps/s")
+				b.ReportMetric(float64(totalSlots)/secs, "slots/s")
+			}
+		})
+	}
+}
+
 // BenchmarkPriorityConciliator is E1/E2: one full Algorithm 1 execution
 // per iteration (n processes, distinct inputs).
 func BenchmarkPriorityConciliator(b *testing.B) {

@@ -12,15 +12,43 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"github.com/oblivious-consensus/conciliator/internal/experiment"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
 )
+
+// benchRecord is the machine-readable perf record written by -bench-json.
+// Steps and slots come from the simulator's process-wide counters sampled
+// around each experiment, so they cover every trial the experiment ran.
+type benchRecord struct {
+	Schema           string       `json:"schema"` // "conciliator-bench/v1"
+	Seed             uint64       `json:"seed"`
+	Quick            bool         `json:"quick"`
+	Trials           int          `json:"trials,omitempty"`
+	Parallelism      int          `json:"parallelism"`
+	GOOS             string       `json:"goos"`
+	GOARCH           string       `json:"goarch"`
+	NumCPU           int          `json:"num_cpu"`
+	TotalWallSeconds float64      `json:"total_wall_seconds"`
+	Experiments      []benchEntry `json:"experiments"`
+}
+
+type benchEntry struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Steps       int64   `json:"steps"`
+	Slots       int64   `json:"slots"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	SlotsPerSec float64 `json:"slots_per_sec"`
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -38,11 +66,21 @@ func run(args []string, out io.Writer) error {
 		trials  = fs.Int("trials", 0, "trials per configuration (0 = per-experiment default)")
 		seed    = fs.Uint64("seed", 0, "master seed (0 = default)")
 		quick   = fs.Bool("quick", false, "small sweeps for a fast smoke run")
-		format  = fs.String("format", "text", "output format: text, markdown, or tsv")
-		timings = fs.Bool("timings", false, "print wall-clock time per experiment")
+		format   = fs.String("format", "text", "output format: text, markdown, or tsv")
+		timings  = fs.Bool("timings", false, "print wall-clock time per experiment")
+		parallel = fs.Int("parallel", 0, "trial workers per experiment (0 = NumCPU); results are identical for any value")
+		benchOut = fs.String("bench-json", "", "write a JSON perf record (steps/sec, slots/sec, wall time per experiment) to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Validate the output format up front: a typo must not burn a full
+	// (minutes-long) experiment suite before erroring.
+	switch *format {
+	case "text", "markdown", "tsv":
+	default:
+		return fmt.Errorf("unknown format %q (want text, markdown, or tsv)", *format)
 	}
 
 	if *list {
@@ -75,10 +113,30 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("nothing to do: pass -experiment <id>, -all, or -list")
 	}
 
-	params := experiment.Params{Trials: *trials, Seed: *seed, Quick: *quick}
+	params := experiment.Params{Trials: *trials, Seed: *seed, Quick: *quick, Parallelism: *parallel}
+	rec := benchRecord{
+		Schema:      "conciliator-bench/v1",
+		Seed:        *seed,
+		Quick:       *quick,
+		Trials:      *trials,
+		Parallelism: *parallel,
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+	if rec.Seed == 0 {
+		rec.Seed = 20120716 // the documented default master seed
+	}
+	if rec.Parallelism == 0 {
+		rec.Parallelism = runtime.NumCPU()
+	}
+	suiteStart := time.Now()
 	for _, e := range todo {
+		steps0, slots0 := sim.Counters()
 		start := time.Now()
 		tables := e.Run(params)
+		wall := time.Since(start)
+		steps1, slots1 := sim.Counters()
 		for _, t := range tables {
 			switch *format {
 			case "markdown":
@@ -87,12 +145,33 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintf(out, "# %s: %s\n%s\n", t.ID, t.Title, t.TSV())
 			case "text":
 				fmt.Fprintln(out, t.Text())
-			default:
-				return fmt.Errorf("unknown format %q", *format)
 			}
 		}
 		if *timings {
-			fmt.Fprintf(out, "[%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(out, "[%s took %v]\n\n", e.ID, wall.Round(time.Millisecond))
+		}
+		secs := wall.Seconds()
+		entry := benchEntry{
+			ID:          e.ID,
+			WallSeconds: secs,
+			Steps:       steps1 - steps0,
+			Slots:       slots1 - slots0,
+		}
+		if secs > 0 {
+			entry.StepsPerSec = float64(entry.Steps) / secs
+			entry.SlotsPerSec = float64(entry.Slots) / secs
+		}
+		rec.Experiments = append(rec.Experiments, entry)
+	}
+	if *benchOut != "" {
+		rec.TotalWallSeconds = time.Since(suiteStart).Seconds()
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding bench record: %w", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+			return fmt.Errorf("writing bench record: %w", err)
 		}
 	}
 	return nil

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -109,5 +112,69 @@ func TestCommaSeparatedEmpty(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-experiment", " , "}, &b); err == nil {
 		t.Error("expected error for empty id list")
+	}
+}
+
+func TestFormatValidatedBeforeRunning(t *testing.T) {
+	// A bad -format must fail before any experiment runs: the error
+	// arrives with nothing written, rather than after a minutes-long
+	// suite has already printed its tables.
+	var b strings.Builder
+	err := run([]string{"-all", "-format", "jsn"}, &b)
+	if err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+	if !strings.Contains(err.Error(), "jsn") {
+		t.Errorf("error does not name the bad format: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("output written before format validation: %q", b.String())
+	}
+}
+
+func TestParallelFlagDeterministic(t *testing.T) {
+	// Identical seed => byte-identical tables regardless of -parallel.
+	render := func(parallel string) string {
+		var b strings.Builder
+		if err := run([]string{"-experiment", "E3", "-quick", "-parallel", parallel}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if one, many := render("1"), render("7"); one != many {
+		t.Errorf("output differs between -parallel 1 and -parallel 7:\n%s\n---\n%s", one, many)
+	}
+}
+
+func TestBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E3,E6", "-quick", "-bench-json", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rec.Schema != "conciliator-bench/v1" {
+		t.Errorf("schema = %q", rec.Schema)
+	}
+	if rec.Seed == 0 || rec.Parallelism == 0 {
+		t.Errorf("defaults not recorded: seed=%d parallelism=%d", rec.Seed, rec.Parallelism)
+	}
+	if len(rec.Experiments) != 2 {
+		t.Fatalf("got %d experiment entries, want 2", len(rec.Experiments))
+	}
+	for _, e := range rec.Experiments {
+		if e.ID == "" || e.Steps <= 0 || e.Slots <= 0 {
+			t.Errorf("degenerate entry: %+v", e)
+		}
+		if e.WallSeconds > 0 && e.StepsPerSec <= 0 {
+			t.Errorf("steps/sec not computed: %+v", e)
+		}
 	}
 }

@@ -93,7 +93,7 @@ func e8Consensus() Experiment {
 						sumTotal   float64
 						sumSkewMax float64
 					)
-					forEachTrial(p.Seed+9+uint64(pi), trials, func(t int, s trialSeeds) {
+					p.forEachTrial(p.Seed+9+uint64(pi), trials, func(t int, s trialSeeds) {
 						c := proto.mk(n)
 						inputs := distinctInputs(n)
 						outs, fin, res := mustRun(n, s, func(pr *sim.Proc) int {

@@ -56,7 +56,7 @@ func e7Embedded() Experiment {
 					sumWrite       int64
 					stepBoundValue int
 				)
-				forEachTrial(p.Seed+8, trials, func(t int, s trialSeeds) {
+				p.forEachTrial(p.Seed+8, trials, func(t int, s trialSeeds) {
 					inputs := distinctInputs(n)
 
 					emb := conciliator.NewEmbedded[int](n, conciliator.EmbeddedConfig{})

@@ -54,7 +54,7 @@ func e16EpsilonNecessity() Experiment {
 					mu       sync.Mutex
 					disagree int
 				)
-				forEachTrial(p.Seed+19+uint64(ei), trials, func(t int, s trialSeeds) {
+				p.forEachTrial(p.Seed+19+uint64(ei), trials, func(t int, s trialSeeds) {
 					c := conciliator.NewSifter[int](n, conciliator.SifterConfig{Epsilon: eps})
 					inputs := distinctInputs(n)
 					outs, fin, _ := mustRun(n, s, func(pr *sim.Proc) int {

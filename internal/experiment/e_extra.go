@@ -52,7 +52,7 @@ func e13Multiplicity() Experiment {
 					sum1 float64
 					sum2 float64
 				)
-				forEachTrial(p.Seed+16+uint64(m), trials, func(t int, s trialSeeds) {
+				p.forEachTrial(p.Seed+16+uint64(m), trials, func(t int, s trialSeeds) {
 					c := conciliator.NewSifter[int](n, conciliator.SifterConfig{
 						Rounds:         2,
 						TrackSurvivors: true,
@@ -136,7 +136,7 @@ func e14Adversary() Experiment {
 					agreedCount int
 					distinctSum float64
 				)
-				forEachTrial(p.Seed+17+uint64(ki), trials, func(t int, s trialSeeds) {
+				p.forEachTrial(p.Seed+17+uint64(ki), trials, func(t int, s trialSeeds) {
 					c := conciliator.NewSifter[int](n, conciliator.SifterConfig{})
 					inputs := distinctInputs(n)
 					body := func(pr *sim.Proc) int {
@@ -200,7 +200,7 @@ func e14Adversary() Experiment {
 					agreedCount int
 					distinctSum float64
 				)
-				forEachTrial(p.Seed+23+uint64(ki), trials, func(t int, s trialSeeds) {
+				p.forEachTrial(p.Seed+23+uint64(ki), trials, func(t int, s trialSeeds) {
 					c := conciliator.NewPriority[int](n, conciliator.PriorityConfig{})
 					inputs := distinctInputs(n)
 					body := func(pr *sim.Proc) int {

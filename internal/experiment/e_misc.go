@@ -100,11 +100,23 @@ func e10Schedules() Experiment {
 						"surviving processes.",
 				},
 			}
+			qtbl := Table{
+				ID:      "E10b",
+				Title:   fmt.Sprintf("Algorithm 2 per-process step quantiles by schedule family (n=%d)", n),
+				Columns: []string{"schedule", "p50", "p90", "p99", "max"},
+				Notes: []string{
+					"Distribution of the per-trial maximum individual step count " +
+						"(the paper's step-complexity measure) for the sifting " +
+						"conciliator; schedule shape may move constants but not " +
+						"the O(log log n + log 1/eps) scale.",
+				},
+			}
 			for _, kind := range sched.Kinds() {
 				rates := make([]string, 0, 3)
+				maxSteps := make([]float64, trials)
 				for alg := 0; alg < 3; alg++ {
 					agreed := make([]bool, trials)
-					forEachTrial(p.Seed+11+uint64(alg)*131+uint64(kind), trials, func(t int, s trialSeeds) {
+					p.forEachTrial(p.Seed+11+uint64(alg)*131+uint64(kind), trials, func(t int, s trialSeeds) {
 						var c conciliator.Interface[int]
 						switch alg {
 						case 0:
@@ -116,13 +128,16 @@ func e10Schedules() Experiment {
 						}
 						inputs := distinctInputs(n)
 						src := sched.New(kind, n, s.sched)
-						outs, fin, _, err := sim.Collect(src, sim.Config{AlgSeed: s.alg}, func(pr *sim.Proc) int {
+						outs, fin, res, err := sim.Collect(src, sim.Config{AlgSeed: s.alg}, func(pr *sim.Proc) int {
 							return c.Conciliate(pr, inputs[pr.ID()])
 						})
 						if err != nil {
 							panic(err)
 						}
 						agreed[t] = agree(outs, fin)
+						if alg == 1 {
+							maxSteps[t] = float64(res.MaxSteps())
+						}
 					})
 					hits := 0
 					for _, a := range agreed {
@@ -134,8 +149,10 @@ func e10Schedules() Experiment {
 					rates = append(rates, pct(rate, ci))
 				}
 				tbl.AddRow(kind.String(), rates[0], rates[1], rates[2])
+				q := stats.Quantiles(maxSteps, 0.50, 0.90, 0.99, 1)
+				qtbl.AddRow(kind.String(), q[0], q[1], q[2], q[3])
 			}
-			return []Table{tbl}
+			return []Table{tbl, qtbl}
 		},
 	}
 }
@@ -177,7 +194,7 @@ func e11Ablations() Experiment {
 					mu  sync.Mutex
 					sum float64
 				)
-				forEachTrial(p.Seed+12, trials, func(t int, s trialSeeds) {
+				p.forEachTrial(p.Seed+12, trials, func(t int, s trialSeeds) {
 					c := conciliator.NewSifter[int](nA, conciliator.SifterConfig{
 						Rounds:         roundsA,
 						Probs:          probs,
@@ -230,7 +247,7 @@ func e11Ablations() Experiment {
 					rounds   = conciliator.SifterRounds(nB, 0.5)
 					shareVar = share
 				)
-				forEachTrial(p.Seed+13, trials, func(t int, s trialSeeds) {
+				p.forEachTrial(p.Seed+13, trials, func(t int, s trialSeeds) {
 					c := conciliator.NewSifter[int](nB, conciliator.SifterConfig{
 						SharePersonae:  &shareVar,
 						TrackSurvivors: true,
@@ -288,7 +305,7 @@ func e11Ablations() Experiment {
 						mu     sync.Mutex
 						agreed int
 					)
-					forEachTrial(p.Seed+14+bound+uint64(mode)*977, trials, func(t int, s trialSeeds) {
+					p.forEachTrial(p.Seed+14+bound+uint64(mode)*977, trials, func(t int, s trialSeeds) {
 						pc := conciliator.PriorityConfig{
 							PriorityBound:    bound,
 							InconsistentTies: mode == 1,
@@ -353,7 +370,7 @@ func e12TAS() Experiment {
 			tasSums := make([]float64, rounds+1)
 			concSums := make([]float64, rounds)
 			var mu sync.Mutex
-			forEachTrial(p.Seed+15, trials, func(t int, s trialSeeds) {
+			p.forEachTrial(p.Seed+15, trials, func(t int, s trialSeeds) {
 				ts := tas.New(n, tas.Config{Rounds: rounds})
 				wins, fin, _, err := sim.Collect(sched.NewRandom(n, xrand.New(s.sched)), sim.Config{AlgSeed: s.alg}, func(pr *sim.Proc) bool {
 					return ts.Acquire(pr)

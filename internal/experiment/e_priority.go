@@ -35,7 +35,7 @@ func e1PriorityDecay() Experiment {
 			for _, n := range nsweep {
 				sums := make([]float64, rounds)
 				var mu sync.Mutex
-				forEachTrial(p.Seed+1, trials, func(t int, s trialSeeds) {
+				p.forEachTrial(p.Seed+1, trials, func(t int, s trialSeeds) {
 					c := conciliator.NewPriority[int](n, conciliator.PriorityConfig{
 						Rounds:         rounds,
 						TrackSurvivors: true,
@@ -88,7 +88,7 @@ func e2PriorityAgreement() Experiment {
 			}
 			for _, eps := range epsilons {
 				agreed := make([]bool, trials)
-				forEachTrial(p.Seed+2+uint64(eps*1024), trials, func(t int, s trialSeeds) {
+				p.forEachTrial(p.Seed+2+uint64(eps*1024), trials, func(t int, s trialSeeds) {
 					c := conciliator.NewPriority[int](n, conciliator.PriorityConfig{Epsilon: eps})
 					inputs := distinctInputs(n)
 					outs, fin, _ := mustRun(n, s, func(pr *sim.Proc) int {

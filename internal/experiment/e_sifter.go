@@ -15,7 +15,7 @@ import (
 func sifterSurvivorMeans(p Params, n, rounds, trials int, seedOff uint64, probs []float64) []float64 {
 	sums := make([]float64, rounds)
 	var mu sync.Mutex
-	forEachTrial(p.Seed+seedOff, trials, func(t int, s trialSeeds) {
+	p.forEachTrial(p.Seed+seedOff, trials, func(t int, s trialSeeds) {
 		c := conciliator.NewSifter[int](n, conciliator.SifterConfig{
 			Rounds:         rounds,
 			TrackSurvivors: true,
@@ -117,7 +117,7 @@ func e5SifterEpsilon() Experiment {
 			}
 			for _, eps := range []float64{0.5, 0.25, 1.0 / 16} {
 				agreed := make([]bool, trials)
-				forEachTrial(p.Seed+6+uint64(eps*1024), trials, func(t int, s trialSeeds) {
+				p.forEachTrial(p.Seed+6+uint64(eps*1024), trials, func(t int, s trialSeeds) {
 					c := conciliator.NewSifter[int](n, conciliator.SifterConfig{Epsilon: eps})
 					inputs := distinctInputs(n)
 					outs, fin, _ := mustRun(n, s, func(pr *sim.Proc) int {

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/oblivious-consensus/conciliator/internal/sched"
 	"github.com/oblivious-consensus/conciliator/internal/sim"
@@ -32,11 +33,19 @@ type Params struct {
 	// Quick shrinks the sweeps so the whole suite finishes in seconds;
 	// used by tests and `go test -bench`.
 	Quick bool
+
+	// Parallelism is the number of trial workers (0 or negative means
+	// runtime.NumCPU()). Results are byte-identical for any value: trials
+	// derive their seeds by index and write only to per-trial slots.
+	Parallelism int
 }
 
 func (p Params) withDefaults() Params {
 	if p.Seed == 0 {
 		p.Seed = 20120716
+	}
+	if p.Parallelism < 1 {
+		p.Parallelism = runtime.NumCPU()
 	}
 	return p
 }
@@ -133,32 +142,42 @@ func seedsFor(master uint64, trials int) []trialSeeds {
 	return out
 }
 
-// forEachTrial runs fn(trial, seeds) for every trial, in parallel across
-// a bounded worker pool. fn must only write to per-trial slots.
-func forEachTrial(master uint64, trials int, fn func(trial int, s trialSeeds)) {
+// forEachTrial runs fn(trial, seeds) for every trial across
+// p.Parallelism workers pulling trial indices from a shared atomic
+// counter. fn must only write to per-trial slots; trial seeds are derived
+// by index, so the schedule of workers cannot affect any result.
+func (p Params) forEachTrial(master uint64, trials int, fn func(trial int, s trialSeeds)) {
 	seeds := seedsFor(master, trials)
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
-	}
+	workers := p.Parallelism
 	if workers < 1 {
-		workers = 1
+		workers = runtime.NumCPU()
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		for t := 0; t < trials; t++ {
+			fn(t, seeds[t])
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range next {
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= trials {
+					return
+				}
 				fn(t, seeds[t])
 			}
 		}()
 	}
-	for t := 0; t < trials; t++ {
-		next <- t
-	}
-	close(next)
 	wg.Wait()
 }
 

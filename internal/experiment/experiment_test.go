@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -136,13 +137,16 @@ func TestSeedsForDisjointStreams(t *testing.T) {
 }
 
 func TestForEachTrialCoversAllTrials(t *testing.T) {
-	hit := make([]bool, 64)
-	forEachTrial(7, len(hit), func(trial int, s trialSeeds) {
-		hit[trial] = true
-	})
-	for i, h := range hit {
-		if !h {
-			t.Fatalf("trial %d skipped", i)
+	for _, parallelism := range []int{1, 3, 64, 200} {
+		hit := make([]bool, 64)
+		p := Params{Parallelism: parallelism}
+		p.forEachTrial(7, len(hit), func(trial int, s trialSeeds) {
+			hit[trial] = true
+		})
+		for i, h := range hit {
+			if !h {
+				t.Fatalf("parallelism %d: trial %d skipped", parallelism, i)
+			}
 		}
 	}
 }
@@ -228,5 +232,31 @@ func TestTableRendering(t *testing.T) {
 	txt := tbl.Text()
 	if !strings.Contains(txt, "demo") {
 		t.Errorf("text missing title: %q", txt)
+	}
+}
+
+func TestTablesIdenticalAcrossParallelism(t *testing.T) {
+	// The determinism contract of the trial runner: identical seed =>
+	// byte-identical tables no matter how many workers run the trials.
+	// E1 covers the plain random-schedule path, E10 covers every schedule
+	// family including crash schedules.
+	for _, id := range []string{"E1", "E10"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		render := func(parallelism int) string {
+			var b strings.Builder
+			for _, tbl := range e.Run(Params{Quick: true, Parallelism: parallelism}) {
+				b.WriteString(tbl.TSV())
+			}
+			return b.String()
+		}
+		serial := render(1)
+		wide := render(runtime.NumCPU() + 3)
+		if serial != wide {
+			t.Errorf("%s: tables differ between Parallelism 1 and %d:\n%s\n---\n%s",
+				id, runtime.NumCPU()+3, serial, wide)
+		}
 	}
 }

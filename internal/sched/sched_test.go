@@ -340,3 +340,140 @@ func TestFavoredSkewRatio(t *testing.T) {
 		}
 	}
 }
+
+// skipperSources builds a named set of every Skipper-implementing source,
+// paired with an identically-seeded twin, so tests can compare the slot
+// stream of a SkipWhile/Next mix against a pure-Next reference.
+func skipperSources() map[string]func() (Source, Source) {
+	fresh := map[string]func() Source{
+		"round-robin": func() Source { return NewRoundRobin(7) },
+		"random":      func() Source { return NewRandom(7, xrand.New(11)) },
+		"staggered":   func() Source { return NewStaggered(7, 3, xrand.New(12)) },
+		"split":       func() Source { return NewSplit(8, 5) },
+		"zipf":        func() Source { return NewZipf(7, 1.2, xrand.New(13)) },
+		"crash-half":  func() Source { return NewCrashHalf(8, xrand.New(14)) },
+		"crash-set": func() Source {
+			return NewCrashSet(NewRoundRobin(6), []int{1, 4}, 9, 15)
+		},
+		"favored": func() Source { return NewFavored(6) },
+		"explicit": func() Source {
+			slots := make([]int, 400)
+			rng := xrand.New(16)
+			for i := range slots {
+				slots[i] = rng.Intn(5)
+			}
+			return NewExplicit(5, slots)
+		},
+	}
+	out := make(map[string]func() (Source, Source), len(fresh))
+	for name, mk := range fresh {
+		mk := mk
+		out[name] = func() (Source, Source) { return mk(), mk() }
+	}
+	return out
+}
+
+func TestSkipWhileMatchesNext(t *testing.T) {
+	// Interleaving SkipWhile with Next must yield exactly the slot stream
+	// a pure-Next consumer sees, for every built-in source. The predicate
+	// accepts a seeded pseudo-random subset of pids so both the skip and
+	// the stash-then-redeliver paths are exercised.
+	for name, mk := range skipperSources() {
+		t.Run(name, func(t *testing.T) {
+			mixed, ref := mk()
+			skipper := mixed.(Skipper)
+			drive := xrand.New(99)
+			noop := func(pid int) bool { return pid%3 == 0 }
+			var got []int
+			for len(got) < 300 {
+				if drive.Intn(2) == 0 {
+					// Consume a run of accepted slots in bulk; they are
+					// all no-op (accepted) slots by construction.
+					skipped := skipper.SkipWhile(noop)
+					for i := int64(0); i < skipped; i++ {
+						got = append(got, -2) // placeholder, filled below
+					}
+					continue
+				}
+				pid := mixed.Next()
+				got = append(got, pid)
+				if pid == Exhausted {
+					break
+				}
+			}
+			for i, pid := range got {
+				want := ref.Next()
+				if pid == -2 {
+					// A skipped slot: the reference stream must hold an
+					// accepted pid here.
+					if want == Exhausted || !noop(want) {
+						t.Fatalf("slot %d: skipped, but reference produced %d", i, want)
+					}
+					continue
+				}
+				if pid != want {
+					t.Fatalf("slot %d: mixed stream %d, reference %d", i, pid, want)
+				}
+				if pid == Exhausted {
+					break
+				}
+			}
+		})
+	}
+}
+
+func TestSkipWhileStashesFirstRejected(t *testing.T) {
+	// The first rejected slot must not be consumed: the next Next returns
+	// it. Run against every source with a reject-everything predicate.
+	for name, mk := range skipperSources() {
+		t.Run(name, func(t *testing.T) {
+			mixed, ref := mk()
+			skipper := mixed.(Skipper)
+			for i := 0; i < 50; i++ {
+				if n := skipper.SkipWhile(func(int) bool { return false }); n != 0 {
+					t.Fatalf("draw %d: reject-all SkipWhile consumed %d slots", i, n)
+				}
+				want := ref.Next()
+				if got := mixed.Next(); got != want {
+					t.Fatalf("draw %d: Next after SkipWhile = %d, want %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRoundRobinSkipWhileCapsAtOneCycle(t *testing.T) {
+	// An accept-everything predicate (a Skipper-contract violation) must
+	// still terminate for RoundRobin, consuming exactly one full cycle.
+	s := NewRoundRobin(5)
+	s.Next() // misalign so the cap is not cycle-aligned
+	if n := s.SkipWhile(func(int) bool { return true }); n != 5 {
+		t.Fatalf("SkipWhile consumed %d slots, want one full cycle of 5", n)
+	}
+	if got := s.Next(); got != 1 {
+		t.Fatalf("Next after full-cycle skip = %d, want 1", got)
+	}
+}
+
+func TestExplicitSkipWhileRemaining(t *testing.T) {
+	s := NewExplicit(3, []int{0, 0, 1, 0, 2})
+	if n := s.SkipWhile(func(pid int) bool { return pid == 0 }); n != 2 {
+		t.Fatalf("skipped %d, want 2", n)
+	}
+	if r := s.Remaining(); r != 3 {
+		t.Fatalf("Remaining = %d, want 3", r)
+	}
+	if got := s.Next(); got != 1 {
+		t.Fatalf("Next = %d, want 1", got)
+	}
+	// Skipping past the end stops at exhaustion without consuming more.
+	if n := s.SkipWhile(func(int) bool { return true }); n != 2 {
+		t.Fatalf("tail skip = %d, want 2", n)
+	}
+	if r := s.Remaining(); r != 0 {
+		t.Fatalf("Remaining after tail skip = %d, want 0", r)
+	}
+	if got := s.Next(); got != Exhausted {
+		t.Fatalf("Next after exhaustion = %d, want Exhausted", got)
+	}
+}

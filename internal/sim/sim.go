@@ -19,6 +19,28 @@
 //
 // Process bodies receive a *Proc, which carries the process id, a private
 // deterministic RNG stream, and the step gate implementing memory.Context.
+//
+// # Controlled-mode execution engine
+//
+// The engine hands execution around as a baton. The driver pre-draws a
+// window of schedule slots from the source (resolving uncharged no-op
+// slots as it draws), grants the first scheduled process, and goes to
+// sleep; each process, when it blocks at its next Step, grants the next
+// scheduled process directly. One simulated step therefore costs a single
+// goroutine handoff — and zero handoffs when consecutive slots name the
+// same process — instead of the park/grant round trip through the driver
+// that a naive implementation needs. The driver wakes only once per
+// window to refill it.
+//
+// Crash-aware sources use a window of one slot, because liveness can flip
+// mid-window when a crash cutoff passes and the driver must observe that
+// at the exact slot the model says it happens. Crash-free sources use
+// wide windows; the only dynamic event inside a window is a process
+// finishing, and the baton chain handles that exactly: slots granted to
+// now-finished processes are consumed as uncharged no-ops, and if the run
+// completes mid-window the driver rolls the slot count back to the slot
+// of the last granted operation — precisely where a slot-at-a-time driver
+// would have stopped.
 package sim
 
 import (
@@ -41,6 +63,53 @@ var ErrScheduleExhausted = errors.New("sim: schedule exhausted before all proces
 // fired, which almost always means a protocol failed to terminate.
 var ErrSlotBudget = errors.New("sim: slot budget exceeded")
 
+// maxWindow is the number of schedule slots the driver pre-draws per
+// grant window for crash-free sources. Crash-aware sources use a window
+// of one (see the package comment).
+const maxWindow = 256
+
+// entry is one grantable slot of a window: the scheduled process and the
+// cumulative count of schedule slots consumed up to and including this
+// slot (uncharged no-op slots resolved at draw time sit between entries
+// and are counted by slotEnd).
+type entry struct {
+	pid     int32
+	slotEnd int64
+}
+
+// window is the baton passed from process to process: a pre-drawn run of
+// grantable slots. j is the index of the entry currently granted; it is
+// advanced by whichever process holds the baton, so it needs no locking.
+type window struct {
+	entries []entry
+	j       int
+}
+
+// gateEvent is what process goroutines report to the driver.
+type gateEvent struct {
+	pid  int32
+	kind uint8
+}
+
+const (
+	evStarted uint8 = iota // process reached its first Step and parked
+	evDone                 // process body returned without ever calling Step
+	evWindow               // the granted window completed
+)
+
+// runState is shared by the driver and all process goroutines of one
+// controlled run. The mutable fields (done, doneCnt, win.j) are touched
+// only by the current baton holder or by the driver while no window is in
+// flight, and every handoff goes through a channel, so all access is
+// fully ordered — the controlled execution is sequential by construction.
+type runState struct {
+	procs    []*Proc
+	done     []bool
+	doneCnt  int
+	complete chan gateEvent
+	win      window
+}
+
 // Proc is the handle a process body uses to interact with the simulation.
 // It implements memory.Context: every shared-memory operation calls Step,
 // which in controlled mode blocks until the adversary schedules the
@@ -50,14 +119,15 @@ type Proc struct {
 	rng   *xrand.Rand
 	steps atomic.Int64
 
-	// Controlled-mode gating; nil in concurrent mode.
-	ready chan struct{}
-	grant chan struct{}
-
-	// aborted is set once the modeled execution has ended (schedule
-	// exhausted or budget exceeded); the next Step exits the goroutine so
-	// that non-terminating bodies can be reclaimed.
-	aborted atomic.Bool
+	// Controlled-mode fields; grant is nil in concurrent mode. A nil
+	// window on grant aborts the goroutine (the modeled execution ended
+	// with this process unfinished). baton is the window this process
+	// currently holds; it is released — handed to the next scheduled
+	// process — when the process next blocks or its body returns.
+	grant   chan *window
+	run     *runState
+	baton   *window
+	started bool
 }
 
 var _ memory.Context = (*Proc)(nil)
@@ -73,17 +143,49 @@ func (p *Proc) Rng() *xrand.Rand { return p.rng }
 // Steps returns the number of shared-memory steps charged so far.
 func (p *Proc) Steps() int64 { return p.steps.Load() }
 
+// release hands the baton to the next undone entry of the window —
+// directly process-to-process, without waking the driver — or reports the
+// window complete. Entries whose process finished earlier in the window
+// are consumed here as uncharged no-op slots, per the model. Calling
+// release certifies that the holder's previous operation fully completed,
+// which is what makes the controlled execution deterministic rather than
+// merely linearizable.
+func (p *Proc) release() {
+	w := p.baton
+	if w == nil {
+		return
+	}
+	p.baton = nil
+	rs := p.run
+	j := w.j + 1
+	for j < len(w.entries) && rs.done[w.entries[j].pid] {
+		j++
+	}
+	if j == len(w.entries) {
+		rs.complete <- gateEvent{kind: evWindow}
+		return
+	}
+	w.j = j
+	rs.procs[w.entries[j].pid].grant <- w
+}
+
 // Step implements memory.Context.
 func (p *Proc) Step() {
-	if p.ready != nil {
-		if p.aborted.Load() {
+	if p.grant != nil {
+		if p.started {
+			p.release()
+		} else {
+			p.started = true
+			p.run.complete <- gateEvent{pid: int32(p.id), kind: evStarted}
+		}
+		w := <-p.grant
+		if w == nil {
 			// The modeled execution is over and this process will never
 			// be scheduled again; unwind the goroutine (deferred cleanup
 			// in the runner still runs).
 			runtime.Goexit()
 		}
-		p.ready <- struct{}{}
-		<-p.grant
+		p.baton = w
 	}
 	p.steps.Add(1)
 }
@@ -101,6 +203,23 @@ type Config struct {
 }
 
 const defaultMaxSlots = 1 << 26
+
+// Process-wide throughput counters, aggregated across every completed run.
+// They exist so harnesses (consensusbench's -bench-json) can report
+// modeled steps/sec and slots/sec per experiment without threading every
+// Result back up through the experiment tables.
+var (
+	totalStepsRun atomic.Int64
+	totalSlotsRun atomic.Int64
+)
+
+// Counters returns the process-wide totals of modeled shared-memory steps
+// and schedule slots consumed by completed runs (controlled slots only;
+// concurrent runs contribute steps). Sample it before and after a
+// workload to get the workload's totals.
+func Counters() (steps, slots int64) {
+	return totalStepsRun.Load(), totalSlotsRun.Load()
+}
 
 // Result reports what happened during a run.
 type Result struct {
@@ -137,150 +256,183 @@ type Body func(p *Proc)
 // (finite schedules), or the slot budget fires.
 func RunControlled(src sched.Source, body Body, cfg Config) (Result, error) {
 	n := src.N()
-	procs := make([]*Proc, n)
-	finished := make([]chan struct{}, n)
+	rs := &runState{
+		procs:    make([]*Proc, n),
+		done:     make([]bool, n),
+		complete: make(chan gateEvent, n),
+	}
 	rng := xrand.New(cfg.AlgSeed)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		procs[i] = &Proc{
+		rs.procs[i] = &Proc{
 			id:    i,
 			rng:   rng.ForkNamed(uint64(i)),
-			ready: make(chan struct{}, 1),
-			grant: make(chan struct{}),
+			grant: make(chan *window, 1),
+			run:   rs,
 		}
-		finished[i] = make(chan struct{})
 	}
 	for i := 0; i < n; i++ {
 		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer close(finished[i])
-			body(procs[i])
+			p := rs.procs[i]
+			body(p)
+			if !p.started {
+				// Finished without a single shared-memory operation;
+				// report directly (the process never held the baton).
+				rs.complete <- gateEvent{pid: int32(i), kind: evDone}
+				return
+			}
+			// Finishing while holding the baton: record completion, then
+			// pass the baton on. Neither blocks.
+			rs.done[i] = true
+			rs.doneCnt++
+			p.release()
 		}()
 	}
 
-	res, parked, err := drive(src, procs, finished, cfg)
+	res, err := drive(src, rs, cfg)
+	totalStepsRun.Add(res.TotalSteps)
+	totalSlotsRun.Add(res.Slots)
 
-	// Unblock and drain any processes still blocked at Step so their
-	// goroutines exit; their remaining operations execute after the
-	// modeled execution ended and are neither scheduled nor charged
-	// against the result (the result snapshot was taken in drive). A
-	// process whose ready token was already consumed ("parked") is
-	// blocked on grant and must be granted first.
-	var drainWG sync.WaitGroup
+	// Unblock any processes still blocked at Step so their goroutines
+	// exit: a nil grant makes Step call Goexit. Every unfinished process
+	// is parked at a grant receive once drive returns (the last window
+	// completed), so a single buffered send each suffices.
 	for i := 0; i < n; i++ {
-		if res.Finished[i] {
-			continue
+		if !rs.done[i] {
+			rs.procs[i].grant <- nil
 		}
-		i := i
-		procs[i].aborted.Store(true)
-		drainWG.Add(1)
-		go func() {
-			defer drainWG.Done()
-			if parked[i] {
-				procs[i].grant <- struct{}{}
-			}
-			for {
-				select {
-				case <-finished[i]:
-					return
-				case <-procs[i].ready:
-					procs[i].grant <- struct{}{}
-				}
-			}
-		}()
 	}
-	drainWG.Wait()
 	wg.Wait()
 	return res, err
 }
 
-// drive is the adversary loop: one schedule slot per iteration. The
-// returned parked slice reports which processes still hold a consumed
-// ready token (blocked on grant) so the caller can unblock them.
-func drive(src sched.Source, procs []*Proc, finished []chan struct{}, cfg Config) (Result, []bool, error) {
+// drive is the adversary loop. It pre-draws windows of schedule slots —
+// resolving uncharged no-op slots (finished or crashed processes) at draw
+// time, in bulk when the source supports sched.Skipper — grants each
+// window to the baton chain, and sleeps until the chain reports the
+// window complete.
+func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
+	procs := rs.procs
 	n := len(procs)
 	maxSlots := cfg.MaxSlots
 	if maxSlots <= 0 {
 		maxSlots = defaultMaxSlots
 	}
 	var (
-		slots   int64
-		done    = make([]bool, n)
-		doneCnt int
-		err     error
+		slots int64
+		err   error
 	)
-	alive := func(pid int) bool {
-		if ca, ok := src.(sched.CrashAware); ok {
-			return ca.Alive(pid)
-		}
-		return true
-	}
-	// park waits until pid is either blocked at Step or finished, and
-	// records completion. Processes are sequential, so "parked or
-	// finished" certifies that the previously granted operation fully
-	// completed; this is what makes the controlled execution
-	// deterministic rather than merely linearizable.
-	park := func(pid int) bool {
-		if done[pid] {
-			return false
-		}
-		select {
-		case <-procs[pid].ready:
-			return true
-		case <-finished[pid]:
-			done[pid] = true
-			doneCnt++
-			return false
+
+	// Startup barrier: wait until every process has either parked at its
+	// first Step or finished without one, so the first grant finds a
+	// quiescent system.
+	for seen := 0; seen < n; seen++ {
+		if ev := <-rs.complete; ev.kind == evDone {
+			rs.done[ev.pid] = true
+			rs.doneCnt++
 		}
 	}
 
-	// Park every live process once so the first slot finds a quiescent
-	// system. (A body that performs no shared-memory operations finishes
-	// here immediately.)
-	parked := make([]bool, n)
-	for pid := 0; pid < n; pid++ {
-		if alive(pid) {
-			parked[pid] = park(pid)
-		}
-	}
-
+	ca, _ := src.(sched.CrashAware)
+	alive := func(pid int) bool { return ca == nil || ca.Alive(pid) }
 	liveDone := func() bool {
+		if rs.doneCnt == n {
+			return true
+		}
+		if ca == nil {
+			// Without crashes every process eventually finishes, so the
+			// count alone decides — no O(n) scan.
+			return false
+		}
 		for pid := 0; pid < n; pid++ {
-			if alive(pid) && !done[pid] {
+			if !rs.done[pid] && ca.Alive(pid) {
 				return false
 			}
 		}
 		return true
 	}
 
+	winCap := maxWindow
+	if ca != nil {
+		// Liveness can flip mid-window when a crash cutoff passes; a
+		// one-slot window makes the driver re-evaluate liveDone at every
+		// slot, exactly like a slot-at-a-time driver.
+		winCap = 1
+	}
+
+	skipper, _ := src.(sched.Skipper)
+	// skipPred accepts uncharged no-op slots, bounded to skipBatch per
+	// SkipWhile call. The bound matters for correctness, not just
+	// fairness: a crash cutoff can pass in the middle of a skipped run,
+	// at which point every pid the source still emits may be a no-op and
+	// an unbounded skip would never return — the driver must get control
+	// back to re-evaluate liveDone. A pid rejected by the bound is
+	// stashed by the source, re-delivered by the next Next, and handled
+	// as an ordinary no-op slot, so the schedule is unchanged.
+	const skipBatch = 1024
+	batch := 0
+	skipPred := func(pid int) bool {
+		if batch >= skipBatch || !(rs.done[pid] || !alive(pid)) {
+			return false
+		}
+		batch++
+		return true
+	}
+
+	entries := make([]entry, 0, winCap)
 	for !liveDone() {
 		if slots >= maxSlots {
+			slots = maxSlots
 			err = fmt.Errorf("%w (budget %d)", ErrSlotBudget, maxSlots)
 			break
 		}
-		pid := src.Next()
-		if pid == sched.Exhausted {
-			err = ErrScheduleExhausted
-			break
+		entries = entries[:0]
+		exhausted := false
+		for len(entries) < winCap && slots < maxSlots {
+			if skipper != nil {
+				batch = 0
+				slots += skipper.SkipWhile(skipPred)
+				if slots >= maxSlots {
+					if slots > maxSlots {
+						slots = maxSlots
+					}
+					break
+				}
+			}
+			pid := src.Next()
+			if pid == sched.Exhausted {
+				exhausted = true
+				break
+			}
+			slots++
+			if rs.done[pid] || !alive(pid) {
+				continue // uncharged no-op slot, per the model
+			}
+			entries = append(entries, entry{pid: int32(pid), slotEnd: slots})
 		}
-		slots++
-		if done[pid] || !alive(pid) {
-			continue // uncharged no-op slot, per the model
-		}
-		if !parked[pid] {
-			// The process was scheduled before ever parking (possible
-			// only if it was skipped during the initial parking pass as
-			// not-alive; defensive).
-			parked[pid] = park(pid)
-			if !parked[pid] {
-				continue
+		if len(entries) > 0 {
+			w := &rs.win
+			w.entries = entries
+			w.j = 0
+			procs[entries[0].pid].grant <- w
+			<-rs.complete // evWindow: the chain ran the whole window
+			if liveDone() {
+				// The run completed mid-window; trailing pre-drawn slots
+				// were never consumed by the model. Roll back to the slot
+				// of the last granted operation — where a slot-at-a-time
+				// driver stops.
+				slots = w.entries[w.j].slotEnd
 			}
 		}
-		parked[pid] = false
-		procs[pid].grant <- struct{}{}
-		parked[pid] = park(pid)
+		if exhausted {
+			if !liveDone() {
+				err = ErrScheduleExhausted
+			}
+			break
+		}
 	}
 
 	res := Result{
@@ -291,9 +443,9 @@ func drive(src sched.Source, procs []*Proc, finished []chan struct{}, cfg Config
 	for pid := 0; pid < n; pid++ {
 		res.Steps[pid] = procs[pid].Steps()
 		res.TotalSteps += res.Steps[pid]
-		res.Finished[pid] = done[pid]
+		res.Finished[pid] = rs.done[pid]
 	}
-	return res, parked, err
+	return res, err
 }
 
 // RunConcurrent executes n copies of body as free-running goroutines and
@@ -325,6 +477,7 @@ func RunConcurrent(n int, body Body, cfg Config) Result {
 		res.TotalSteps += res.Steps[i]
 		res.Finished[i] = true
 	}
+	totalStepsRun.Add(res.TotalSteps)
 	return res
 }
 

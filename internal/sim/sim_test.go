@@ -346,15 +346,17 @@ func TestResultSlotsCounted(t *testing.T) {
 
 func TestStepsVisibleDuringConcurrentRun(t *testing.T) {
 	// Steps uses an atomic counter so metrics can be read mid-run.
-	var observed int64
+	observed := make([]int64, 2)
 	res := RunConcurrent(2, func(p *Proc) {
 		for i := 0; i < 100; i++ {
 			p.Step()
 		}
-		observed = p.Steps() // own-goroutine read
+		observed[p.ID()] = p.Steps() // own-goroutine read
 	}, Config{AlgSeed: 5})
-	if observed != 100 {
-		t.Fatalf("observed %d own steps", observed)
+	for pid, o := range observed {
+		if o != 100 {
+			t.Fatalf("process %d observed %d own steps", pid, o)
+		}
 	}
 	if res.TotalSteps != 200 {
 		t.Fatalf("TotalSteps = %d", res.TotalSteps)
@@ -372,6 +374,33 @@ func TestRunControlledSequentialReuseOfProcIDs(t *testing.T) {
 		}
 		if res.TotalSteps != 3 {
 			t.Fatalf("run %d: TotalSteps = %d", run, res.TotalSteps)
+		}
+	}
+}
+
+func TestBatonHandoffUnderCrashHalfRace(t *testing.T) {
+	// Exercises the baton handoff — grants, releases, drain of unfinished
+	// processes, and the bulk-skip path — under a crashing schedule. Kept
+	// small so it stays cheap under -race -short; the race detector is the
+	// point, the assertions are a sanity floor.
+	const n = 8
+	for seed := uint64(1); seed <= 8; seed++ {
+		src := sched.NewCrashHalf(n, xrand.New(seed))
+		res, err := RunControlled(src, func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Step()
+			}
+		}, Config{AlgSeed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for pid := 0; pid < n; pid++ {
+			if res.Finished[pid] && res.Steps[pid] != 50 {
+				t.Errorf("seed %d: finished pid %d took %d steps, want 50", seed, pid, res.Steps[pid])
+			}
+		}
+		if res.TotalSteps == 0 || res.Slots < res.TotalSteps {
+			t.Errorf("seed %d: implausible accounting: steps=%d slots=%d", seed, res.TotalSteps, res.Slots)
 		}
 	}
 }

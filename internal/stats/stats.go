@@ -72,26 +72,44 @@ func SummarizeInts(xs []int64) Summary {
 	return Summarize(fs)
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) of xs using nearest-rank
-// on a sorted copy. An empty sample returns 0.
-func Quantile(xs []float64, q float64) float64 {
+// Quantiles returns the nearest-rank quantiles of xs for each q in qs
+// (0 <= q <= 1), sorting the sample once. Experiment tables query several
+// quantiles of the same sample per row, so the single sort matters. An
+// empty sample returns all zeros.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
 	if len(xs) == 0 {
-		return 0
+		return out
 	}
 	cp := make([]float64, len(xs))
 	copy(cp, xs)
 	sort.Float64s(cp)
+	for i, q := range qs {
+		out[i] = sortedQuantile(cp, q)
+	}
+	return out
+}
+
+// sortedQuantile is nearest-rank on an already-sorted sample.
+func sortedQuantile(sorted []float64, q float64) float64 {
 	if q <= 0 {
-		return cp[0]
+		return sorted[0]
 	}
 	if q >= 1 {
-		return cp[len(cp)-1]
+		return sorted[len(sorted)-1]
 	}
-	idx := int(math.Ceil(q*float64(len(cp)))) - 1
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	return cp[idx]
+	return sorted[idx]
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using nearest-rank
+// on a sorted copy. An empty sample returns 0. Callers needing several
+// quantiles of one sample should use Quantiles, which sorts once.
+func Quantile(xs []float64, q float64) float64 {
+	return Quantiles(xs, q)[0]
 }
 
 // Proportion returns the fraction of true values and the half-width of its

@@ -227,3 +227,30 @@ func TestSummarizeMatchesNaiveProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantilesMatchQuantile(t *testing.T) {
+	xs := []float64{9, 1, 4, 7, 3, 8, 2, 6, 5, 10}
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+	got := Quantiles(xs, qs...)
+	if len(got) != len(qs) {
+		t.Fatalf("got %d results, want %d", len(got), len(qs))
+	}
+	for i, q := range qs {
+		if want := Quantile(xs, q); got[i] != want {
+			t.Errorf("Quantiles q=%v = %v, Quantile = %v", q, got[i], want)
+		}
+	}
+	// The input must not be reordered.
+	if xs[0] != 9 || xs[9] != 10 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	got := Quantiles(nil, 0.5, 0.9)
+	for i, v := range got {
+		if v != 0 {
+			t.Errorf("empty sample quantile %d = %v", i, v)
+		}
+	}
+}

@@ -13,18 +13,37 @@ import (
 )
 
 // RecordingSource wraps a schedule source and records every slot it
-// emits, so the exact schedule of a run — including one produced by a
-// stateful random source — can be replayed later as an explicit schedule.
+// emits — and, for crash-aware sources, the slot at which each process
+// was first observed dead — so the exact schedule of a run, including one
+// produced by a stateful random source with crashes, can be replayed
+// later. A RecordingSource deliberately does not implement sched.Skipper:
+// bulk-skipped slots would bypass recording, so recorded runs take the
+// slot-at-a-time path.
 type RecordingSource struct {
 	inner sched.Source
+	ca    sched.CrashAware // nil when inner is not crash-aware
 	slots []int
+	// deadAt[pid] is the number of recorded slots after which pid was
+	// first observed dead, or -1 while alive. Deaths are driven by the
+	// slot clock, so checking after every emitted slot captures them at
+	// exactly the granularity the simulator can observe.
+	deadAt []int
 }
 
 var _ sched.Source = (*RecordingSource)(nil)
 
 // Record wraps src.
 func Record(src sched.Source) *RecordingSource {
-	return &RecordingSource{inner: src}
+	r := &RecordingSource{inner: src}
+	if ca, ok := src.(sched.CrashAware); ok {
+		r.ca = ca
+		r.deadAt = make([]int, src.N())
+		for pid := range r.deadAt {
+			r.deadAt[pid] = -1
+		}
+		r.observeDeaths()
+	}
+	return r
 }
 
 // N implements sched.Source.
@@ -35,14 +54,25 @@ func (r *RecordingSource) Next() int {
 	id := r.inner.Next()
 	if id != sched.Exhausted {
 		r.slots = append(r.slots, id)
+		if r.ca != nil {
+			r.observeDeaths()
+		}
 	}
 	return id
 }
 
+func (r *RecordingSource) observeDeaths() {
+	for pid, d := range r.deadAt {
+		if d < 0 && !r.ca.Alive(pid) {
+			r.deadAt[pid] = len(r.slots)
+		}
+	}
+}
+
 // Alive forwards crash-awareness when the inner source provides it.
 func (r *RecordingSource) Alive(pid int) bool {
-	if ca, ok := r.inner.(sched.CrashAware); ok {
-		return ca.Alive(pid)
+	if r.ca != nil {
+		return r.ca.Alive(pid)
 	}
 	return true
 }
@@ -54,9 +84,72 @@ func (r *RecordingSource) Slots() []int {
 	return out
 }
 
-// Replay returns an explicit schedule reproducing the recorded run.
-func (r *RecordingSource) Replay() *sched.Explicit {
-	return sched.NewExplicit(r.inner.N(), r.Slots())
+// Replay returns a schedule source reproducing the recorded run. When the
+// recording came from a crash-aware source the result is crash-aware too,
+// reporting each process dead from the recorded slot onward — without
+// this, replaying a crashed run would end in ErrScheduleExhausted (or
+// grant crashed processes extra steps) instead of reproducing the
+// original Result.
+func (r *RecordingSource) Replay() sched.Source {
+	if r.ca == nil {
+		return sched.NewExplicit(r.inner.N(), r.Slots())
+	}
+	deadAt := make([]int, len(r.deadAt))
+	copy(deadAt, r.deadAt)
+	return &ReplaySource{n: r.inner.N(), slots: r.Slots(), deadAt: deadAt}
+}
+
+// ReplaySource replays a recorded crash schedule: the explicit slot list
+// plus the recorded death slot of each process. Its crash clock is the
+// number of slots consumed, mirroring the recording's granularity.
+type ReplaySource struct {
+	n      int
+	slots  []int
+	pos    int
+	deadAt []int // first-observed-dead slot count per pid; -1 = never died
+}
+
+var (
+	_ sched.Source     = (*ReplaySource)(nil)
+	_ sched.CrashAware = (*ReplaySource)(nil)
+	_ sched.Skipper    = (*ReplaySource)(nil)
+)
+
+// N implements sched.Source.
+func (s *ReplaySource) N() int { return s.n }
+
+// Next implements sched.Source; returns Exhausted once the recording ends.
+func (s *ReplaySource) Next() int {
+	if s.pos >= len(s.slots) {
+		return sched.Exhausted
+	}
+	id := s.slots[s.pos]
+	s.pos++
+	return id
+}
+
+// Alive implements sched.CrashAware from the recorded death slots.
+func (s *ReplaySource) Alive(pid int) bool {
+	d := s.deadAt[pid]
+	return d < 0 || s.pos < d
+}
+
+// SkipWhile implements sched.Skipper. The slot clock is advanced before
+// pred runs and rewound on rejection, so pred observes Alive exactly as
+// it would through a draw-then-check Next sequence — matching how the
+// original (stash-based) crash sources behave under bulk skipping.
+func (s *ReplaySource) SkipWhile(pred func(pid int) bool) int64 {
+	var skipped int64
+	for s.pos < len(s.slots) {
+		pid := s.slots[s.pos]
+		s.pos++
+		if !pred(pid) {
+			s.pos--
+			return skipped
+		}
+		skipped++
+	}
+	return skipped
 }
 
 // Event is one recorded protocol event.

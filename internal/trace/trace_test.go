@@ -147,3 +147,58 @@ func TestLogConcurrentAppend(t *testing.T) {
 		t.Fatal("Events aliases internal state")
 	}
 }
+
+func TestReplayCrashHalfReproducesResult(t *testing.T) {
+	// Recording a run under a crash schedule and replaying it must (a)
+	// terminate — the replay needs the recorded crash set, or the driver
+	// waits for crashed processes and dies on schedule exhaustion — and
+	// (b) reproduce the original Result exactly.
+	for seed := uint64(1); seed <= 20; seed++ {
+		body := func(p *sim.Proc) {
+			reg := p.ID() // a few steps of per-process work
+			_ = reg
+			for i := 0; i < 10+p.ID(); i++ {
+				p.Step()
+			}
+		}
+		rec := Record(sched.NewCrashHalf(8, xrand.New(seed)))
+		orig, err := sim.RunControlled(rec, body, sim.Config{AlgSeed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: recording run failed: %v", seed, err)
+		}
+		replayed, err := sim.RunControlled(rec.Replay(), body, sim.Config{AlgSeed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: replay failed: %v", seed, err)
+		}
+		if orig.TotalSteps != replayed.TotalSteps || orig.Slots != replayed.Slots {
+			t.Fatalf("seed %d: totals diverge: orig steps=%d slots=%d, replay steps=%d slots=%d",
+				seed, orig.TotalSteps, orig.Slots, replayed.TotalSteps, replayed.Slots)
+		}
+		for pid := range orig.Steps {
+			if orig.Steps[pid] != replayed.Steps[pid] {
+				t.Fatalf("seed %d: process %d steps %d vs %d", seed, pid, orig.Steps[pid], replayed.Steps[pid])
+			}
+			if orig.Finished[pid] != replayed.Finished[pid] {
+				t.Fatalf("seed %d: process %d finished %v vs %v", seed, pid, orig.Finished[pid], replayed.Finished[pid])
+			}
+		}
+	}
+}
+
+func TestReplayWithoutCrashesIsPlainExplicit(t *testing.T) {
+	// Crash-free recordings replay as a plain explicit schedule, which the
+	// simulator can drive down its fast (wide-window) path.
+	rec := Record(sched.NewRoundRobin(3))
+	if _, err := sim.RunControlled(rec, func(p *sim.Proc) {
+		p.Step()
+	}, sim.Config{AlgSeed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	src := rec.Replay()
+	if _, ok := src.(*sched.Explicit); !ok {
+		t.Fatalf("crash-free Replay returned %T, want *sched.Explicit", src)
+	}
+	if _, ok := src.(sched.CrashAware); ok {
+		t.Fatal("crash-free replay must not be crash-aware")
+	}
+}
