@@ -13,6 +13,7 @@ import (
 	"github.com/oblivious-consensus/conciliator/internal/adoptcommit"
 	core "github.com/oblivious-consensus/conciliator/internal/conciliator"
 	"github.com/oblivious-consensus/conciliator/internal/consensus"
+	"github.com/oblivious-consensus/conciliator/internal/metrics"
 	"github.com/oblivious-consensus/conciliator/internal/sched"
 	"github.com/oblivious-consensus/conciliator/internal/sim"
 	"github.com/oblivious-consensus/conciliator/internal/tas"
@@ -46,6 +47,20 @@ func benchRun(b *testing.B, n int, algSeed, schedSeed uint64, body func(p *sim.P
 // finish, so most slots are uncharged no-ops — the case the bulk
 // slot-skipping fast path exists for.
 func BenchmarkControlledSteps(b *testing.B) {
+	benchControlledSteps(b)
+}
+
+// BenchmarkControlledStepsMetrics is the same workload with a metrics
+// registry installed, bounding the cost of full instrumentation (step
+// counters, window-latency histograms, per-object op counts) on the
+// simulator's hot path.
+func BenchmarkControlledStepsMetrics(b *testing.B) {
+	metrics.SetDefault(metrics.New())
+	defer metrics.SetDefault(nil)
+	benchControlledSteps(b)
+}
+
+func benchControlledSteps(b *testing.B) {
 	cases := []struct {
 		name  string
 		n     int

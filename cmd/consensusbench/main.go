@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/oblivious-consensus/conciliator/internal/experiment"
+	"github.com/oblivious-consensus/conciliator/internal/metrics"
 	"github.com/oblivious-consensus/conciliator/internal/sim"
 )
 
@@ -50,6 +51,27 @@ type benchEntry struct {
 	SlotsPerSec float64 `json:"slots_per_sec"`
 }
 
+// metricsRecord is the machine-readable observability record written by
+// -metrics-json: one registry-snapshot delta per experiment (counters
+// restricted to what that experiment moved) plus the suite-wide totals.
+type metricsRecord struct {
+	Schema      string           `json:"schema"` // "conciliator-metrics/v1"
+	Seed        uint64           `json:"seed"`
+	Quick       bool             `json:"quick"`
+	Trials      int              `json:"trials,omitempty"`
+	Parallelism int              `json:"parallelism"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	Experiments []metricsEntry   `json:"experiments"`
+	Totals      metrics.Snapshot `json:"totals"`
+}
+
+type metricsEntry struct {
+	ID      string           `json:"id"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "consensusbench:", err)
@@ -70,6 +92,9 @@ func run(args []string, out io.Writer) error {
 		timings  = fs.Bool("timings", false, "print wall-clock time per experiment")
 		parallel = fs.Int("parallel", 0, "trial workers per experiment (0 = NumCPU); results are identical for any value")
 		benchOut = fs.String("bench-json", "", "write a JSON perf record (steps/sec, slots/sec, wall time per experiment) to this path")
+		metricsOut   = fs.String("metrics-json", "", "write a JSON metrics record (per-object op counts, phase step attribution, histograms) to this path")
+		metricsTable = fs.Bool("metrics", false, "print the metrics table after the run")
+		debugAddr    = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) while experiments run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,6 +138,21 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("nothing to do: pass -experiment <id>, -all, or -list")
 	}
 
+	// Any observability output needs a live registry. A fresh one per run
+	// keeps the deltas clean when run is driven repeatedly (tests).
+	wantMetrics := *metricsOut != "" || *metricsTable || *debugAddr != ""
+	if wantMetrics {
+		metrics.SetDefault(metrics.New())
+	}
+	if *debugAddr != "" {
+		addr, shutdown, err := startDebugServer(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer shutdown()
+		fmt.Fprintf(out, "debug server on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
+
 	params := experiment.Params{Trials: *trials, Seed: *seed, Quick: *quick, Parallelism: *parallel}
 	rec := benchRecord{
 		Schema:      "conciliator-bench/v1",
@@ -130,13 +170,30 @@ func run(args []string, out io.Writer) error {
 	if rec.Parallelism == 0 {
 		rec.Parallelism = runtime.NumCPU()
 	}
+	mrec := metricsRecord{
+		Schema:      "conciliator-metrics/v1",
+		Seed:        rec.Seed,
+		Quick:       *quick,
+		Trials:      *trials,
+		Parallelism: rec.Parallelism,
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
 	suiteStart := time.Now()
 	for _, e := range todo {
 		steps0, slots0 := sim.Counters()
+		mPrev := metrics.Default().Snapshot()
 		start := time.Now()
 		tables := e.Run(params)
 		wall := time.Since(start)
 		steps1, slots1 := sim.Counters()
+		if wantMetrics {
+			mrec.Experiments = append(mrec.Experiments, metricsEntry{
+				ID:      e.ID,
+				Metrics: metrics.Default().Snapshot().Sub(mPrev),
+			})
+		}
 		for _, t := range tables {
 			switch *format {
 			case "markdown":
@@ -172,6 +229,22 @@ func run(args []string, out io.Writer) error {
 		data = append(data, '\n')
 		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
 			return fmt.Errorf("writing bench record: %w", err)
+		}
+	}
+	if wantMetrics {
+		mrec.Totals = metrics.Default().Snapshot()
+	}
+	if *metricsTable {
+		fmt.Fprintf(out, "metrics:\n%s", mrec.Totals.Text())
+	}
+	if *metricsOut != "" {
+		data, err := json.MarshalIndent(mrec, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding metrics record: %w", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+			return fmt.Errorf("writing metrics record: %w", err)
 		}
 	}
 	return nil

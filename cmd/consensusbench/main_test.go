@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -143,6 +145,129 @@ func TestParallelFlagDeterministic(t *testing.T) {
 	}
 	if one, many := render("1"), render("7"); one != many {
 		t.Errorf("output differs between -parallel 1 and -parallel 7:\n%s\n---\n%s", one, many)
+	}
+}
+
+func TestMetricsJSONSchemaAndReconciliation(t *testing.T) {
+	// E6 is the sifter experiment: every one of its shared-memory steps
+	// is a register operation, so three independent views of the same
+	// execution must agree exactly — the simulator's step counter, the
+	// memory layer's per-object op counters, and the conciliator layer's
+	// phase attribution.
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E6", "-quick", "-metrics-json", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec metricsRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rec.Schema != "conciliator-metrics/v1" {
+		t.Errorf("schema = %q", rec.Schema)
+	}
+	if rec.Seed == 0 || rec.Parallelism == 0 {
+		t.Errorf("defaults not recorded: seed=%d parallelism=%d", rec.Seed, rec.Parallelism)
+	}
+	if len(rec.Experiments) != 1 || rec.Experiments[0].ID != "E6" {
+		t.Fatalf("experiments = %+v", rec.Experiments)
+	}
+
+	tot := rec.Totals
+	steps := tot.Counters["sim.steps"]
+	if steps <= 0 {
+		t.Fatalf("sim.steps = %d", steps)
+	}
+	if memOps := tot.SumCounters("memory.register.", "memory.snapshot.update", "memory.snapshot.scan",
+		"memory.maxreg.read", "memory.maxreg.write"); memOps != steps {
+		t.Errorf("memory op counters = %d, sim.steps = %d", memOps, steps)
+	}
+	if sift := tot.Counters["conciliator.sifter.write_steps"] + tot.Counters["conciliator.sifter.read_steps"]; sift != steps {
+		t.Errorf("sifter phase steps = %d, sim.steps = %d", sift, steps)
+	}
+
+	// The per-experiment delta must carry the same counters (one
+	// experiment ran, so delta == totals for counters it moved) and the
+	// histograms must have observations consistent with their counts.
+	d := rec.Experiments[0].Metrics
+	if d.Counters["sim.steps"] != steps {
+		t.Errorf("delta sim.steps = %d, totals = %d", d.Counters["sim.steps"], steps)
+	}
+	perProc, ok := d.Histograms["conciliator.sifter.steps_per_proc"]
+	if !ok || perProc.Count == 0 {
+		t.Fatalf("missing sifter per-proc histogram: %+v", d.Histograms)
+	}
+	if perProc.Sum != steps {
+		t.Errorf("per-proc histogram sum = %d, sim.steps = %d", perProc.Sum, steps)
+	}
+	var bucketTotal int64
+	for _, bk := range perProc.Buckets {
+		bucketTotal += bk.Count
+	}
+	if bucketTotal != perProc.Count {
+		t.Errorf("bucket counts sum to %d, histogram count = %d", bucketTotal, perProc.Count)
+	}
+	if lat, ok := d.Histograms["sim.step_latency_ns"]; !ok || lat.Count == 0 {
+		t.Errorf("missing step-latency histogram: %+v", d.Histograms)
+	}
+	if runs := d.Counters["sim.runs"]; runs <= 0 {
+		t.Errorf("sim.runs = %d", runs)
+	}
+}
+
+func TestMetricsTableFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E6", "-quick", "-metrics"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"metrics:", "sim.steps", "memory.register.read", "conciliator.sifter.steps_per_proc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	addr, shutdown, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "conciliator_metrics") {
+		t.Errorf("expvar output missing conciliator_metrics:\n%.500s", body)
+	}
+	// The pprof index must be wired on the same private mux.
+	resp2, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp2.StatusCode)
+	}
+}
+
+func TestDebugAddrFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E6", "-quick", "-debug-addr", "127.0.0.1:0"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "debug server on http://") {
+		t.Errorf("bound debug address not reported:\n%s", b.String())
 	}
 }
 

@@ -4,6 +4,10 @@ import (
 	"testing"
 
 	conciliator "github.com/oblivious-consensus/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/trace"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
 )
 
 // FuzzSolveRegister drives full register-model consensus with fuzzed
@@ -14,6 +18,8 @@ func FuzzSolveRegister(f *testing.F) {
 	f.Add(uint8(4), uint64(1), uint64(2), uint16(0b1010))
 	f.Add(uint8(9), uint64(42), uint64(7), uint16(0xffff))
 	f.Add(uint8(1), uint64(0), uint64(0), uint16(1))
+	f.Add(uint8(16), uint64(1<<63), uint64(3), uint16(0))
+	f.Add(uint8(15), uint64(12345), uint64(54321), uint16(0b0101010101010101))
 	f.Fuzz(func(t *testing.T, rawN uint8, algSeed, schedSeed uint64, pattern uint16) {
 		n := int(rawN%16) + 1
 		inputs := make([]int, n)
@@ -37,12 +43,127 @@ func FuzzSolveRegister(f *testing.F) {
 	})
 }
 
+// FuzzScheduleSkipper checks the sched.Skipper contract on every
+// schedule family: interleaving SkipWhile with Next — in any pattern a
+// fuzzed byte program can express — must never change the emitted pid
+// stream relative to a twin source driven by Next alone, and the slot
+// accounting SkipWhile returns must exactly match the number of slots
+// its predicate approved (in particular it can never go negative). This
+// is the contract the simulator's no-op slot batching fast path leans
+// on.
+func FuzzScheduleSkipper(f *testing.F) {
+	f.Add(uint8(0), uint8(4), uint64(1), []byte{0x00, 0x07, 0x12, 0x01})
+	f.Add(uint8(3), uint8(8), uint64(9), []byte{0xff, 0x00, 0xff, 0x00, 0x3c})
+	f.Add(uint8(5), uint8(1), uint64(42), []byte{0x81, 0x81, 0x81})
+	f.Add(uint8(2), uint8(15), uint64(7), []byte{0x10, 0x20, 0x30, 0x40, 0x50})
+	f.Fuzz(func(t *testing.T, rawKind, rawN uint8, seed uint64, program []byte) {
+		kinds := sched.Kinds()
+		kind := kinds[int(rawKind)%len(kinds)]
+		n := int(rawN%16) + 1
+		if len(program) > 256 {
+			program = program[:256]
+		}
+		skipping := sched.New(kind, n, seed)
+		reference := sched.New(kind, n, seed)
+		skipper, ok := skipping.(sched.Skipper)
+		if !ok {
+			t.Skipf("%v source does not implement Skipper", kind)
+		}
+		for pc, op := range program {
+			if op&1 == 0 {
+				got, want := skipping.Next(), reference.Next()
+				if got != want {
+					t.Fatalf("op %d: Next = %d, reference = %d", pc, got, want)
+				}
+				continue
+			}
+			budget := int(op>>1) % 8
+			var approved []int
+			skipped := skipper.SkipWhile(func(pid int) bool {
+				if budget == 0 {
+					return false
+				}
+				budget--
+				approved = append(approved, pid)
+				return true
+			})
+			if skipped < 0 {
+				t.Fatalf("op %d: SkipWhile returned negative count %d", pc, skipped)
+			}
+			if skipped != int64(len(approved)) {
+				t.Fatalf("op %d: SkipWhile = %d slots, predicate approved %d", pc, skipped, len(approved))
+			}
+			for i, pid := range approved {
+				if want := reference.Next(); pid != want {
+					t.Fatalf("op %d: skipped slot %d = pid %d, reference = %d", pc, i, pid, want)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCrashScheduleReplay records fuzzed crash-schedule runs with
+// trace.Record and replays them, asserting the replay reproduces the
+// original execution exactly — per-process step counts, finished flags,
+// and slot totals. This pins the crash-replay semantics (death slots
+// captured at slot granularity, crash-aware replay sources) under
+// schedules no hand-written table would think to try.
+func FuzzCrashScheduleReplay(f *testing.F) {
+	f.Add(uint8(4), uint64(1), uint8(10), uint8(0b0101))
+	f.Add(uint8(7), uint64(33), uint8(0), uint8(0xff))
+	f.Add(uint8(2), uint64(5), uint8(60), uint8(0b10))
+	// Regression: every survivor finished before the crash cutoff passed,
+	// which used to make the driver spin through no-op slots to the slot
+	// budget (and blow Result.Slots up to the budget) instead of ending
+	// the run at the cutoff crossing.
+	f.Add(uint8(97), uint64(7), uint8(0x16), uint8(0xe3))
+	f.Fuzz(func(t *testing.T, rawN uint8, seed uint64, rawCutoff, victimMask uint8) {
+		n := int(rawN%8) + 2
+		cutoff := int(rawCutoff) % 64
+		// CrashSet requires a survivor; process n-1 is never a victim.
+		var victims []int
+		for pid := 0; pid < n-1; pid++ {
+			if victimMask&(1<<uint(pid%8)) != 0 {
+				victims = append(victims, pid)
+			}
+		}
+		body := func(p *sim.Proc) int64 {
+			for i := 0; i < 8; i++ {
+				p.Step()
+			}
+			return p.Steps()
+		}
+		rec := trace.Record(sched.NewCrashSet(sched.NewRandom(n, xrand.New(seed)), victims, cutoff, seed+1))
+		_, _, res, err := sim.Collect(rec, sim.Config{AlgSeed: seed + 2}, body)
+		if err != nil {
+			t.Fatalf("recorded run: %v", err)
+		}
+		_, _, replayed, err := sim.Collect(rec.Replay(), sim.Config{AlgSeed: seed + 2}, body)
+		if err != nil {
+			t.Fatalf("replayed run: %v", err)
+		}
+		if res.TotalSteps != replayed.TotalSteps {
+			t.Fatalf("total steps: recorded %d, replayed %d", res.TotalSteps, replayed.TotalSteps)
+		}
+		for pid := range res.Steps {
+			if res.Steps[pid] != replayed.Steps[pid] {
+				t.Fatalf("process %d steps: recorded %d, replayed %d", pid, res.Steps[pid], replayed.Steps[pid])
+			}
+			if res.Finished[pid] != replayed.Finished[pid] {
+				t.Fatalf("process %d finished: recorded %v, replayed %v", pid, res.Finished[pid], replayed.Finished[pid])
+			}
+		}
+	})
+}
+
 // FuzzConciliatorLinear fuzzes the Algorithm 3 conciliator alone:
 // termination and validity must hold for every seed pair, even though
 // agreement is only probabilistic.
 func FuzzConciliatorLinear(f *testing.F) {
 	f.Add(uint8(6), uint64(3), uint64(4))
 	f.Add(uint8(2), uint64(9), uint64(1))
+	f.Add(uint8(0), uint64(0), uint64(0))
+	f.Add(uint8(13), uint64(1<<40), uint64(17))
 	f.Fuzz(func(t *testing.T, rawN uint8, algSeed, schedSeed uint64) {
 		n := int(rawN%16) + 1
 		inputs := make([]int, n)

@@ -1,0 +1,56 @@
+package adoptcommit
+
+import "github.com/oblivious-consensus/conciliator/internal/metrics"
+
+// Per-phase step attribution for adopt-commit objects. All instruments
+// are nil (free no-ops) until a metrics registry is installed. Propose
+// step costs are measured as deltas of the caller's step counter when
+// the memory.Context exposes one (sim.Proc does); outcome counters
+// record how often proposals commit versus adopt.
+var (
+	mRegPropose  *metrics.Histogram // adoptcommit.register.propose_steps
+	mSnapPropose *metrics.Histogram // adoptcommit.snapshot.propose_steps
+	mCommits     *metrics.Counter   // adoptcommit.commit
+	mAdopts      *metrics.Counter   // adoptcommit.adopt
+)
+
+func init() {
+	metrics.OnEnable(func(r *metrics.Registry) {
+		mRegPropose = r.Histogram("adoptcommit.register.propose_steps")
+		mSnapPropose = r.Histogram("adoptcommit.snapshot.propose_steps")
+		mCommits = r.Counter("adoptcommit.commit")
+		mAdopts = r.Counter("adoptcommit.adopt")
+	})
+}
+
+// stepper is satisfied by contexts that count their own steps
+// (sim.Proc); memory.Free does not, and such calls skip the step
+// histograms.
+type stepper interface{ Steps() int64 }
+
+// meterPropose records the decision outcome and, when the context
+// counts steps, the phase's step cost.
+func meterPropose(h *metrics.Histogram, ctx any, before int64, dec Decision) {
+	if dec == Commit {
+		mCommits.Inc()
+	} else {
+		mAdopts.Inc()
+	}
+	if h == nil {
+		return
+	}
+	if s, ok := ctx.(stepper); ok {
+		h.Observe(s.Steps() - before)
+	}
+}
+
+// proposeStart captures the caller's step counter when metering is on.
+func proposeStart(h *metrics.Histogram, ctx any) int64 {
+	if h == nil {
+		return 0
+	}
+	if s, ok := ctx.(stepper); ok {
+		return s.Steps()
+	}
+	return 0
+}

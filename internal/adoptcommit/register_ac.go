@@ -64,7 +64,9 @@ func NewFlagsAC(k int) *RegisterAC[int] {
 
 // Propose implements Object. pid is ignored: the object is anonymous,
 // like the paper's register-model adopt-commit objects.
-func (a *RegisterAC[V]) Propose(ctx memory.Context, _ int, v V) (Decision, V) {
+func (a *RegisterAC[V]) Propose(ctx memory.Context, _ int, v V) (dec Decision, out V) {
+	before := proposeStart(mRegPropose, ctx)
+	defer func() { meterPropose(mRegPropose, ctx, before, dec) }()
 	if !a.cd.Check(ctx, v) {
 		a.dirty.Write(ctx, struct{}{})
 		if w, ok := a.clean.Read(ctx); ok {

@@ -43,7 +43,9 @@ func NewSnapshotAC[V comparable](n int) *SnapshotAC[V] {
 }
 
 // Propose implements Object. It costs exactly 4 snapshot steps.
-func (a *SnapshotAC[V]) Propose(ctx memory.Context, pid int, v V) (Decision, V) {
+func (a *SnapshotAC[V]) Propose(ctx memory.Context, pid int, v V) (dec Decision, out V) {
+	before := proposeStart(mSnapPropose, ctx)
+	defer func() { meterPropose(mSnapPropose, ctx, before, dec) }()
 	a.phase1.Update(ctx, pid, v)
 	clean := true
 	for _, e := range a.phase1.Scan(ctx) {

@@ -62,13 +62,18 @@ func (c *CIL[V]) StepBound() int { return 2*c.maxSpins + 2 }
 
 // Conciliate implements Interface.
 func (c *CIL[V]) Conciliate(p *sim.Proc, input V) V {
+	before := p.Steps()
+	defer func() { mCILProc.Observe(p.Steps() - before) }()
 	pers := persona.New(input, p.ID(), p.Rng(), persona.Config{})
 	for spin := 0; spin < c.maxSpins; spin++ {
 		if v, ok := c.proposal.Read(p); ok {
+			mCILSpin.Inc()
 			return v.Value()
 		}
+		mCILSpin.Inc()
 		if p.Rng().Bernoulli(c.prob) {
 			c.proposal.Write(p, pers)
+			mCILWrite.Inc()
 			return input
 		}
 	}
@@ -76,5 +81,6 @@ func (c *CIL[V]) Conciliate(p *sim.Proc, input V) V {
 	// return our own input); only the agreement probability analysis is
 	// (negligibly) affected.
 	c.proposal.Write(p, pers)
+	mCILWrite.Inc()
 	return input
 }

@@ -124,6 +124,8 @@ func (c *Embedded[V]) ExitCounts() (sifter, reads, writes int64) {
 
 // Conciliate implements Interface.
 func (c *Embedded[V]) Conciliate(p *sim.Proc, input V) V {
+	total := p.Steps()
+	defer func() { mEmbProc.Observe(p.Steps() - total) }()
 	own := persona.New(input, p.ID(), p.Rng(), persona.Config{})
 	run := c.inner.Begin(p, input)
 
@@ -138,17 +140,32 @@ func (c *Embedded[V]) Conciliate(p *sim.Proc, input V) V {
 			break
 		}
 		if v, ok := c.proposal.Read(p); ok {
+			mEmbPoll.Inc()
 			cand, pref, exit = v, 1, ExitProposalRead
 			break
 		}
+		mEmbPoll.Inc()
 		if p.Rng().Bernoulli(c.prob) {
 			c.proposal.Write(p, own)
+			mEmbPropose.Inc()
 			cand, pref, exit = own, 1, ExitProposalWrite
 			break
 		}
-		run.Step(p)
+		if mEmbInner != nil {
+			before := p.Steps()
+			run.Step(p)
+			mEmbInner.Add(p.Steps() - before)
+		} else {
+			run.Step(p)
+		}
 	}
 	c.exits[exit-1].Add(1)
+
+	var combineStart int64
+	if mEmbCombine != nil {
+		combineStart = p.Steps()
+		defer func() { mEmbCombine.Add(p.Steps() - combineStart) }()
+	}
 
 	// Combine stage: reconcile index-0 (inner conciliator) and index-1
 	// (proposal) candidates.

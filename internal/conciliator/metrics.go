@@ -1,0 +1,52 @@
+package conciliator
+
+import "github.com/oblivious-consensus/conciliator/internal/metrics"
+
+// Per-phase step attribution: how many shared-memory steps each
+// algorithm phase costs, plus a per-process distribution per family.
+// All instruments are nil (free no-ops) until a metrics registry is
+// installed. Step counts are measured as deltas of the process's own
+// step counter around a phase, so substrate substitution (Afek
+// snapshots, tree max registers) is charged to the phase that incurred
+// it. When one conciliator runs embedded in another (Algorithm 3), the
+// inner rounds are attributed both to the inner family's phase counters
+// and to the host's inner_steps counter — the two views answer
+// different questions.
+var (
+	mPriRound *metrics.Counter   // conciliator.priority.round_steps
+	mPriBoard *metrics.Counter   // conciliator.priority.board_steps
+	mPriProc  *metrics.Histogram // conciliator.priority.steps_per_proc
+
+	mSifWrite *metrics.Counter   // conciliator.sifter.write_steps
+	mSifRead  *metrics.Counter   // conciliator.sifter.read_steps
+	mSifProc  *metrics.Histogram // conciliator.sifter.steps_per_proc
+
+	mCILSpin  *metrics.Counter   // conciliator.cil.spin_steps
+	mCILWrite *metrics.Counter   // conciliator.cil.write_steps
+	mCILProc  *metrics.Histogram // conciliator.cil.steps_per_proc
+
+	mEmbPoll    *metrics.Counter   // conciliator.embedded.poll_steps
+	mEmbPropose *metrics.Counter   // conciliator.embedded.propose_steps
+	mEmbInner   *metrics.Counter   // conciliator.embedded.inner_steps
+	mEmbCombine *metrics.Counter   // conciliator.embedded.combine_steps
+	mEmbProc    *metrics.Histogram // conciliator.embedded.steps_per_proc
+)
+
+func init() {
+	metrics.OnEnable(func(r *metrics.Registry) {
+		mPriRound = r.Counter("conciliator.priority.round_steps")
+		mPriBoard = r.Counter("conciliator.priority.board_steps")
+		mPriProc = r.Histogram("conciliator.priority.steps_per_proc")
+		mSifWrite = r.Counter("conciliator.sifter.write_steps")
+		mSifRead = r.Counter("conciliator.sifter.read_steps")
+		mSifProc = r.Histogram("conciliator.sifter.steps_per_proc")
+		mCILSpin = r.Counter("conciliator.cil.spin_steps")
+		mCILWrite = r.Counter("conciliator.cil.write_steps")
+		mCILProc = r.Histogram("conciliator.cil.steps_per_proc")
+		mEmbPoll = r.Counter("conciliator.embedded.poll_steps")
+		mEmbPropose = r.Counter("conciliator.embedded.propose_steps")
+		mEmbInner = r.Counter("conciliator.embedded.inner_steps")
+		mEmbCombine = r.Counter("conciliator.embedded.combine_steps")
+		mEmbProc = r.Histogram("conciliator.embedded.steps_per_proc")
+	})
+}

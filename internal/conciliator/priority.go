@@ -196,7 +196,10 @@ func (c *Priority[V]) SurvivorsPerRound() []int { return c.track.survivors() }
 
 // Conciliate implements Interface.
 func (c *Priority[V]) Conciliate(p *sim.Proc, input V) V {
-	return conciliate[V](c, p, input)
+	before := p.Steps()
+	v := conciliate[V](c, p, input)
+	mPriProc.Observe(p.Steps() - before)
+	return v
 }
 
 // Begin implements Stepwise.
@@ -241,8 +244,13 @@ func (r *priorityRun[V]) Step(p *sim.Proc) {
 	if c.cfg.CompactValues && !r.wrote {
 		c.board.At(p.ID()).Write(p, r.input)
 		r.wrote = true
+		mPriBoard.Inc()
 	}
 
+	var before int64
+	if mPriRound != nil {
+		before = p.Steps()
+	}
 	if c.cfg.UseMaxRegisters {
 		m := c.maxers[i]
 		m.WriteMax(p, r.pers.Priority(i), r.pers)
@@ -265,6 +273,9 @@ func (r *priorityRun[V]) Step(p *sim.Proc) {
 		// best is never nil: the process's own update precedes its scan.
 		r.adopt(p, best, i)
 	}
+	if mPriRound != nil {
+		mPriRound.Add(p.Steps() - before)
+	}
 
 	c.track.record(i, p.ID(), r.pers)
 	r.i++
@@ -276,6 +287,7 @@ func (r *priorityRun[V]) Step(p *sim.Proc) {
 		if v, ok := c.board.At(r.pers.Origin()).Read(p); ok {
 			r.pers = persona.WithValue(r.pers, v)
 		}
+		mPriBoard.Inc()
 	}
 }
 

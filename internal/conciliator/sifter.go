@@ -152,7 +152,10 @@ func (c *Sifter[V]) SurvivorsPerRound() []int { return c.track.survivors() }
 
 // Conciliate implements Interface.
 func (c *Sifter[V]) Conciliate(p *sim.Proc, input V) V {
-	return conciliate[V](c, p, input)
+	before := p.Steps()
+	v := conciliate[V](c, p, input)
+	mSifProc.Observe(p.Steps() - before)
+	return v
 }
 
 // Begin implements Stepwise.
@@ -188,8 +191,12 @@ func (r *sifterRun[V]) Step(p *sim.Proc) {
 	}
 	if write {
 		c.regs.At(i).Write(p, r.pers)
-	} else if v, ok := c.regs.At(i).Read(p); ok {
-		r.pers = v
+		mSifWrite.Inc()
+	} else {
+		if v, ok := c.regs.At(i).Read(p); ok {
+			r.pers = v
+		}
+		mSifRead.Inc()
 	}
 
 	c.track.record(i, p.ID(), r.pers)

@@ -89,6 +89,69 @@ func (MaxRegisterSemantics) Apply(state, arg int64) int64 {
 // ReadValue implements Semantics.
 func (MaxRegisterSemantics) ReadValue(state int64) int64 { return state }
 
+// SnapshotSemantics models an n-component atomic snapshot by packing the
+// whole component vector into the checker's int64 state word: component
+// i occupies the 8 bits at shift 8i, holding value+1 for a set component
+// and 0 for an unset one. That limits checkable histories to at most 7
+// components with values in [0, 254] — comfortably above what a
+// sub-64-op history can use. An Update(i, v) is recorded as a Write of
+// EncodeSnapshotUpdate(i, v); a Scan is recorded as a Read returning
+// EncodeSnapshotView of the observed entries, with OutOK reporting
+// whether any component was set (the checker requires reads linearized
+// before the first write to return OutOK=false, which for a snapshot is
+// exactly the all-unset view).
+type SnapshotSemantics struct {
+	// Components is the snapshot width n (at most 7).
+	Components int
+}
+
+const (
+	snapCompBits = 8
+	snapCompMask = int64(1)<<snapCompBits - 1
+)
+
+// EncodeSnapshotUpdate packs an Update(component, value) argument.
+// component must be in [0, 7) and value in [0, 254].
+func EncodeSnapshotUpdate(component int, value int64) int64 {
+	if component < 0 || component >= 7 {
+		panic(fmt.Sprintf("linearize: snapshot component %d out of range", component))
+	}
+	if value < 0 || value >= snapCompMask {
+		panic(fmt.Sprintf("linearize: snapshot value %d out of range", value))
+	}
+	return int64(component)<<snapCompBits | value
+}
+
+// EncodeSnapshotView packs an observed component vector: values[i] is
+// component i's value and ok[i] whether it was set.
+func EncodeSnapshotView(values []int64, ok []bool) int64 {
+	var state int64
+	for i, v := range values {
+		if !ok[i] {
+			continue
+		}
+		if v < 0 || v >= snapCompMask {
+			panic(fmt.Sprintf("linearize: snapshot value %d out of range", v))
+		}
+		state |= (v + 1) << (uint(i) * snapCompBits)
+	}
+	return state
+}
+
+// Init implements Semantics.
+func (SnapshotSemantics) Init() int64 { return 0 }
+
+// Apply implements Semantics.
+func (s SnapshotSemantics) Apply(state, arg int64) int64 {
+	i := arg >> snapCompBits
+	v := arg & snapCompMask
+	shift := uint(i) * snapCompBits
+	return state&^(snapCompMask<<shift) | (v+1)<<shift
+}
+
+// ReadValue implements Semantics.
+func (SnapshotSemantics) ReadValue(state int64) int64 { return state }
+
 // Check reports whether the history has a linearization under the given
 // sequential semantics. Histories longer than 64 operations are
 // rejected (the memoization key is a bitmask).

@@ -1,0 +1,265 @@
+package linearize
+
+import (
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// These tests record operation histories under *controlled* adversarial
+// schedules — skewed-tail interleavings and crash schedules — instead of
+// the free-running goroutine races the concurrent tests use. Under the
+// controlled scheduler an operation's interval still overlaps other
+// processes' operations whenever the op spans multiple shared-memory
+// steps (tree max registers) or the schedule preempts between the
+// recorder's Begin and the op's step, so the checker is exercised on
+// genuinely concurrent intervals with a reproducible interleaving.
+
+// encodeView packs a memory snapshot view for the checker.
+func encodeView(view []memory.Entry[int64]) (packed int64, any bool) {
+	values := make([]int64, len(view))
+	oks := make([]bool, len(view))
+	for i, e := range view {
+		if e.OK {
+			values[i], oks[i] = e.Value, true
+			any = true
+		}
+	}
+	return EncodeSnapshotView(values, oks), any
+}
+
+func TestSnapshotSemanticsHistories(t *testing.T) {
+	sem := SnapshotSemantics{Components: 3}
+	up := EncodeSnapshotUpdate
+	view := func(vals ...int64) int64 { // vals[i] < 0 means unset
+		values := make([]int64, len(vals))
+		oks := make([]bool, len(vals))
+		for i, v := range vals {
+			if v >= 0 {
+				values[i], oks[i] = v, true
+			}
+		}
+		return EncodeSnapshotView(values, oks)
+	}
+	tests := []struct {
+		name string
+		hist []Op
+		want bool
+	}{
+		{
+			name: "scan sees both completed updates",
+			hist: []Op{
+				{Kind: Write, Arg: up(0, 5), Start: 1, End: 2},
+				{Kind: Write, Arg: up(1, 7), Start: 3, End: 4},
+				{Kind: Read, Out: view(5, 7, -1), OutOK: true, Start: 5, End: 6},
+			},
+			want: true,
+		},
+		{
+			name: "scan missing a completed update is not atomic",
+			hist: []Op{
+				{Kind: Write, Arg: up(0, 5), Start: 1, End: 2},
+				{Kind: Read, Out: view(-1, -1, -1), OutOK: false, Start: 3, End: 4},
+			},
+			want: false,
+		},
+		{
+			name: "concurrent update may or may not be seen",
+			hist: []Op{
+				{Kind: Write, Arg: up(0, 5), Start: 1, End: 2},
+				{Kind: Write, Arg: up(1, 7), Start: 3, End: 8},
+				{Kind: Read, Out: view(5, -1, -1), OutOK: true, Start: 4, End: 6},
+			},
+			want: true,
+		},
+		{
+			name: "two scans disagreeing on update order",
+			hist: []Op{
+				{Kind: Write, Arg: up(0, 5), Start: 1, End: 10},
+				{Kind: Write, Arg: up(1, 7), Start: 2, End: 9},
+				{Kind: Read, Out: view(5, -1, -1), OutOK: true, Start: 3, End: 4},
+				{Kind: Read, Out: view(-1, 7, -1), OutOK: true, Start: 5, End: 6},
+			},
+			want: false,
+		},
+		{
+			name: "overwrite of one component",
+			hist: []Op{
+				{Kind: Write, Arg: up(0, 5), Start: 1, End: 2},
+				{Kind: Write, Arg: up(0, 9), Start: 3, End: 4},
+				{Kind: Read, Out: view(9, -1, -1), OutOK: true, Start: 5, End: 6},
+			},
+			want: true,
+		},
+		{
+			name: "stale component after overwrite",
+			hist: []Op{
+				{Kind: Write, Arg: up(0, 5), Start: 1, End: 2},
+				{Kind: Write, Arg: up(0, 9), Start: 3, End: 4},
+				{Kind: Read, Out: view(5, -1, -1), OutOK: true, Start: 5, End: 6},
+			},
+			want: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Check(sem, tt.hist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Fatalf("Check = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSnapshotLinearizableUnderSkewedSchedules(t *testing.T) {
+	// 3 writers each update their component 3 times; 2 scanners scan 3
+	// times. Explicit skewed-tail schedule: writer 0 is starved while the
+	// rest run, then finishes alone; plus a staggered-block schedule.
+	const writers, scanners, opsEach = 3, 2, 3
+	n := writers + scanners
+
+	mkSkewed := func() sched.Source {
+		// Give pids 1..4 a long prefix, then let pid 0 run its tail.
+		var slots []int
+		for r := 0; r < 64; r++ {
+			for pid := 1; pid < n; pid++ {
+				slots = append(slots, pid)
+			}
+		}
+		for r := 0; r < 64; r++ {
+			slots = append(slots, 0)
+		}
+		return sched.NewExplicit(n, slots)
+	}
+	sources := map[string]func(trial int) sched.Source{
+		"explicit-skewed-tail": func(int) sched.Source { return mkSkewed() },
+		"staggered": func(trial int) sched.Source {
+			return sched.NewStaggered(n, 4, xrand.New(uint64(trial)*13+1))
+		},
+	}
+	for name, mk := range sources {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 10; trial++ {
+				rec := &Recorder{}
+				snap := memory.NewSnapshot[int64](writers)
+				hist := func() []Op {
+					if _, err := sim.RunControlled(mk(trial), func(p *sim.Proc) {
+						rng := xrand.New(uint64(trial)*31 + uint64(p.ID()) + 1)
+						if p.ID() < writers {
+							for i := 0; i < opsEach; i++ {
+								v := int64(rng.Intn(200))
+								start := rec.Begin()
+								snap.Update(p, p.ID(), v)
+								rec.EndWrite(p.ID(), EncodeSnapshotUpdate(p.ID(), v), start)
+							}
+							return
+						}
+						for i := 0; i < opsEach; i++ {
+							start := rec.Begin()
+							packed, any := encodeView(snap.Scan(p))
+							rec.EndRead(p.ID(), packed, any, start)
+						}
+					}, sim.Config{AlgSeed: uint64(trial) + 1}); err != nil {
+						t.Fatal(err)
+					}
+					return rec.History()
+				}()
+				ok, err := Check(SnapshotSemantics{Components: writers}, hist)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("trial %d: snapshot history under %s not linearizable:\n%+v", trial, name, hist)
+				}
+			}
+		})
+	}
+}
+
+func TestMaxRegisterLinearizableUnderCrashSchedule(t *testing.T) {
+	// Tree max register (multi-step ops, so intervals genuinely overlap
+	// under the controlled schedule) driven by a crash schedule that
+	// kills the two reader processes mid-run. Crashed reads vanish from
+	// the history, which only removes constraints; every completed op
+	// must still linearize.
+	const writers, readers = 3, 2
+	n := writers + readers
+	for trial := 0; trial < 10; trial++ {
+		rec := &Recorder{}
+		m := memory.NewTreeMaxRegister[int64](8)
+		inner := sched.NewRandom(n, xrand.New(uint64(trial)*17+5))
+		src := sched.NewCrashSet(inner, []int{writers, writers + 1}, 20+trial, uint64(trial)+9)
+		if _, err := sim.RunControlled(src, func(p *sim.Proc) {
+			rng := xrand.New(uint64(trial)*41 + uint64(p.ID()) + 3)
+			if p.ID() < writers {
+				for i := 0; i < 3; i++ {
+					v := int64(rng.Intn(1 << 8))
+					start := rec.Begin()
+					m.WriteMax(p, uint64(v), v)
+					rec.EndWrite(p.ID(), v, start)
+				}
+				return
+			}
+			for i := 0; i < 3; i++ {
+				start := rec.Begin()
+				_, v, ok := m.ReadMax(p)
+				rec.EndRead(p.ID(), v, ok, start)
+			}
+		}, sim.Config{AlgSeed: uint64(trial) + 2}); err != nil {
+			t.Fatal(err)
+		}
+		hist := rec.History()
+		ok, err := Check(MaxRegisterSemantics{}, hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: max-register history under crash schedule not linearizable:\n%+v", trial, hist)
+		}
+	}
+}
+
+func TestSnapshotLinearizableUnderCrashSchedule(t *testing.T) {
+	// Unit-cost snapshot under a crash schedule; again only scanners are
+	// on the victim list so no effectful op can go unrecorded.
+	const writers, scanners = 3, 2
+	n := writers + scanners
+	for trial := 0; trial < 10; trial++ {
+		rec := &Recorder{}
+		snap := memory.NewSnapshot[int64](writers)
+		inner := sched.NewStaggered(n, 3, xrand.New(uint64(trial)*29+7))
+		src := sched.NewCrashSet(inner, []int{writers, writers + 1}, 12+trial, uint64(trial)+4)
+		if _, err := sim.RunControlled(src, func(p *sim.Proc) {
+			rng := xrand.New(uint64(trial)*47 + uint64(p.ID()) + 11)
+			if p.ID() < writers {
+				for i := 0; i < 3; i++ {
+					v := int64(rng.Intn(200))
+					start := rec.Begin()
+					snap.Update(p, p.ID(), v)
+					rec.EndWrite(p.ID(), EncodeSnapshotUpdate(p.ID(), v), start)
+				}
+				return
+			}
+			for i := 0; i < 3; i++ {
+				start := rec.Begin()
+				packed, any := encodeView(snap.Scan(p))
+				rec.EndRead(p.ID(), packed, any, start)
+			}
+		}, sim.Config{AlgSeed: uint64(trial) + 6}); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := Check(SnapshotSemantics{Components: writers}, rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: snapshot history under crash schedule not linearizable:\n%+v", trial, rec.History())
+		}
+	}
+}

@@ -41,13 +41,17 @@ func (s *AfekSnapshot[T]) Components() int { return len(s.cells) }
 // by one process at a time (single-writer discipline), which all protocols
 // in this repository obey: component i belongs to process i.
 func (s *AfekSnapshot[T]) Update(ctx Context, i int, v T) {
+	mAfekUpdate.Inc()
 	view := s.Scan(ctx)
 	old, _ := s.cells[i].Read(ctx)
 	s.cells[i].Write(ctx, afekCell[T]{value: v, seq: old.seq + 1, view: view})
 }
 
-// Scan returns an atomic view of all components.
+// Scan returns an atomic view of all components. The afek.scan counter
+// includes the scan embedded in every Update; the individual register
+// steps land in the register counters.
 func (s *AfekSnapshot[T]) Scan(ctx Context) []Entry[T] {
+	mAfekScan.Inc()
 	n := len(s.cells)
 	moved := make([]int, n)
 	prev := s.collect(ctx)

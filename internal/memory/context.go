@@ -15,7 +15,12 @@
 // at a time anyway.
 package memory
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/oblivious-consensus/conciliator/internal/metrics"
+)
 
 // Context is the hook through which shared-memory operations charge steps
 // to the calling process and yield to the adversary scheduler. The
@@ -44,3 +49,51 @@ type opCounter struct {
 
 func (c *opCounter) inc()        { c.n.Add(1) }
 func (c *opCounter) load() int64 { return c.n.Load() }
+
+// Per-object-class operation counters, aggregated across every instance.
+// All nil (free no-ops) until a metrics registry is installed; see the
+// metrics package for the enable protocol and ordering requirements.
+// "Contended" counts operations that found the object's critical section
+// already held by another process — real operation overlap, which only
+// the concurrent execution mode can produce (the controlled scheduler
+// runs one operation at a time by construction).
+var (
+	mRegRead, mRegWrite, mRegContend  *metrics.Counter
+	mSnapUpdate, mSnapScan, mSnapCont *metrics.Counter
+	mMaxWrite, mMaxRead, mMaxContend  *metrics.Counter
+	mTreeWrite, mTreeRead             *metrics.Counter
+	mAfekUpdate, mAfekScan            *metrics.Counter
+)
+
+func init() {
+	metrics.OnEnable(func(r *metrics.Registry) {
+		mRegRead = r.Counter("memory.register.read")
+		mRegWrite = r.Counter("memory.register.write")
+		mRegContend = r.Counter("memory.register.contended")
+		mSnapUpdate = r.Counter("memory.snapshot.update")
+		mSnapScan = r.Counter("memory.snapshot.scan")
+		mSnapCont = r.Counter("memory.snapshot.contended")
+		mMaxWrite = r.Counter("memory.maxreg.write")
+		mMaxRead = r.Counter("memory.maxreg.read")
+		mMaxContend = r.Counter("memory.maxreg.contended")
+		mTreeWrite = r.Counter("memory.treemax.write")
+		mTreeRead = r.Counter("memory.treemax.read")
+		mAfekUpdate = r.Counter("memory.afek.update")
+		mAfekScan = r.Counter("memory.afek.scan")
+	})
+}
+
+// lockMeter acquires mu, counting acquisitions that found the lock
+// already held into contended. With metrics disabled it is a plain
+// Lock; enabled, the TryLock fast path costs the same single CAS an
+// uncontended Lock does.
+func lockMeter(mu *sync.Mutex, contended *metrics.Counter) {
+	if contended == nil {
+		mu.Lock()
+		return
+	}
+	if !mu.TryLock() {
+		contended.Inc()
+		mu.Lock()
+	}
+}

@@ -38,21 +38,23 @@ func NewMaxRegister[T any]() *MaxRegister[T] {
 // WriteMax implements Maxer.
 func (m *MaxRegister[T]) WriteMax(ctx Context, key uint64, payload T) {
 	ctx.Step()
-	m.mu.Lock()
+	lockMeter(&m.mu, mMaxContend)
 	if !m.set || key > m.key {
 		m.key, m.payload, m.set = key, payload, true
 	}
 	m.mu.Unlock()
 	m.ops.inc()
+	mMaxWrite.Inc()
 }
 
 // ReadMax implements Maxer.
 func (m *MaxRegister[T]) ReadMax(ctx Context) (uint64, T, bool) {
 	ctx.Step()
-	m.mu.Lock()
+	lockMeter(&m.mu, mMaxContend)
 	k, p, ok := m.key, m.payload, m.set
 	m.mu.Unlock()
 	m.ops.inc()
+	mMaxRead.Inc()
 	return k, p, ok
 }
 
@@ -110,16 +112,21 @@ func newMaxNode[T any](depth int) *maxNode[T] {
 // Bits returns the key width.
 func (t *TreeMaxRegister[T]) Bits() int { return t.bits }
 
-// WriteMax implements Maxer. It costs O(bits) register operations.
+// WriteMax implements Maxer. It costs O(bits) register operations. The
+// treemax.write counter counts logical operations; the underlying
+// register steps land in the register counters.
 func (t *TreeMaxRegister[T]) WriteMax(ctx Context, key uint64, payload T) {
 	if key >= 1<<uint(t.bits) {
 		panic("memory: TreeMaxRegister key out of range")
 	}
+	mTreeWrite.Inc()
 	t.root.writeMax(ctx, t.bits, key, payload)
 }
 
-// ReadMax implements Maxer. It costs O(bits) register operations.
+// ReadMax implements Maxer. It costs O(bits) register operations; see
+// WriteMax for how the operation is metered.
 func (t *TreeMaxRegister[T]) ReadMax(ctx Context) (uint64, T, bool) {
+	mTreeRead.Inc()
 	return t.root.readMax(ctx, t.bits)
 }
 

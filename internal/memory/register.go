@@ -24,21 +24,23 @@ func NewRegister[T any]() *Register[T] {
 // Write atomically stores v, charging one step.
 func (r *Register[T]) Write(ctx Context, v T) {
 	ctx.Step()
-	r.mu.Lock()
+	lockMeter(&r.mu, mRegContend)
 	r.val = v
 	r.set = true
 	r.mu.Unlock()
 	r.ops.inc()
+	mRegWrite.Inc()
 }
 
 // Read atomically returns the current value and whether the register has
 // ever been written, charging one step.
 func (r *Register[T]) Read(ctx Context) (T, bool) {
 	ctx.Step()
-	r.mu.Lock()
+	lockMeter(&r.mu, mRegContend)
 	v, ok := r.val, r.set
 	r.mu.Unlock()
 	r.ops.inc()
+	mRegRead.Inc()
 	return v, ok
 }
 
@@ -49,10 +51,11 @@ func (r *Register[T]) Read(ctx Context) (T, bool) {
 // linearization witness.
 func (r *Register[T]) CompareEmptyAndWrite(ctx Context, v T) (T, bool) {
 	ctx.Step()
-	r.mu.Lock()
+	lockMeter(&r.mu, mRegContend)
 	defer func() {
 		r.mu.Unlock()
 		r.ops.inc()
+		mRegWrite.Inc() // counted as a write: it may install a value
 	}()
 	if r.set {
 		return r.val, false

@@ -34,20 +34,22 @@ func (s *Snapshot[T]) Components() int { return len(s.vals) }
 // Update atomically installs v as component i, charging one step.
 func (s *Snapshot[T]) Update(ctx Context, i int, v T) {
 	ctx.Step()
-	s.mu.Lock()
+	lockMeter(&s.mu, mSnapCont)
 	s.vals[i] = Entry[T]{Value: v, OK: true}
 	s.mu.Unlock()
 	s.ops.inc()
+	mSnapUpdate.Inc()
 }
 
 // Scan atomically returns a copy of all components, charging one step.
 func (s *Snapshot[T]) Scan(ctx Context) []Entry[T] {
 	ctx.Step()
-	s.mu.Lock()
+	lockMeter(&s.mu, mSnapCont)
 	out := make([]Entry[T], len(s.vals))
 	copy(out, s.vals)
 	s.mu.Unlock()
 	s.ops.inc()
+	mSnapScan.Inc()
 	return out
 }
 

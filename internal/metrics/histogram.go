@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket 0 holds observations
+// <= 0, bucket i (1..64) holds observations in [2^(i-1), 2^i - 1]. The
+// bound makes every histogram O(1) memory regardless of the value range,
+// which is what lets per-run and per-window observations stay on the hot
+// path.
+const histBuckets = 65
+
+// Histogram is a bounded histogram with power-of-two buckets. Observe is
+// one atomic add per bucket plus count/sum upkeep; all methods are
+// no-ops / zeros on a nil receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i; the last
+// bucket reports MaxInt64 rather than overflowing.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records v (no-op on a nil receiver). Negative observations
+// count in the zero bucket but do not perturb the sum, so Mean stays a
+// mean of the modeled (non-negative) quantities.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(v)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of positive observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// snapshot captures the histogram's non-empty buckets.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n != 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: BucketUpper(i), Count: n})
+		}
+	}
+	return s
+}

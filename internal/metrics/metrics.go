@@ -1,0 +1,154 @@
+// Package metrics is the simulator's observability layer: a low-overhead
+// registry of named counters, gauges, and bounded power-of-two-bucket
+// histograms, safe under both the deterministic controlled scheduler and
+// the free-running concurrent mode.
+//
+// # Design
+//
+// The whole layer hangs off a single process-wide registry pointer
+// (SetDefault / Default). Instrumented packages cache the instruments
+// they need in package-level variables assigned by an OnEnable hook, so
+// the hot-path cost is:
+//
+//   - metrics disabled: one nil check per instrumented operation (every
+//     instrument method is a no-op on a nil receiver);
+//   - metrics enabled: one nil check plus one sharded atomic add.
+//
+// Counters are sharded across cache-line-padded cells indexed by a cheap
+// goroutine-affine hash, so concurrent-mode processes hammering the same
+// counter do not serialize on one cache line. Reads (Value, Snapshot) sum
+// the shards; they are intended for reporting, not for synchronization.
+//
+// SetDefault must be called before the runs it should observe start (the
+// cached package-level instruments are plain pointers, ordered by the
+// happens-before edge of starting the run's goroutines).
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numShards is the number of counter cells; a power of two so the shard
+// index is a mask. 32 cells * 64 bytes = 2 KiB per counter, paid only
+// while metrics are enabled.
+const numShards = 32
+
+// cell is one cache-line-padded counter shard.
+type cell struct {
+	n atomic.Int64
+	_ [56]byte // pad to 64 bytes so shards never share a line
+}
+
+// shardIdx derives a goroutine-affine shard index from the address of a
+// stack variable. Goroutine stacks are spread across the address space,
+// so concurrent writers usually land on different cells; the controlled
+// scheduler (one running goroutine at a time) is unaffected either way.
+func shardIdx() int {
+	var b byte
+	return int((uintptr(unsafe.Pointer(&b)) >> 10) & (numShards - 1))
+}
+
+// Counter is a monotonically increasing sharded counter. All methods are
+// safe on a nil receiver (no-ops / zero), which is what instrumented
+// packages rely on when metrics are disabled.
+type Counter struct {
+	shards [numShards]cell
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (no-op on a nil receiver).
+func (c *Counter) Add(d int64) {
+	if c == nil || d == 0 {
+		return
+	}
+	c.shards[shardIdx()].n.Add(d)
+}
+
+// Value sums the shards.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a last-write-wins instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v (no-op on a nil receiver).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Process-wide default registry plus the enable hooks instrumented
+// packages register at init time.
+var (
+	defReg  atomic.Pointer[Registry]
+	hooksMu sync.Mutex
+	hooks   []func(*Registry)
+)
+
+// Default returns the process-wide registry, or nil when metrics are
+// disabled (the default). A nil Registry hands out nil instruments, so
+// callers may chain without checking: metrics.Default().Counter("x") is
+// a valid no-op counter when disabled.
+func Default() *Registry { return defReg.Load() }
+
+// Enabled reports whether a default registry is installed.
+func Enabled() bool { return defReg.Load() != nil }
+
+// SetDefault installs r as the process-wide registry (nil disables
+// metrics again) and runs every OnEnable hook with it. Call it before
+// starting the runs it should observe; instruments cached by hooks are
+// published to run goroutines by the happens-before edge of spawning
+// them.
+func SetDefault(r *Registry) {
+	hooksMu.Lock()
+	defer hooksMu.Unlock()
+	defReg.Store(r)
+	for _, h := range hooks {
+		h(r)
+	}
+}
+
+// OnEnable registers a hook that (re)binds a package's cached
+// instruments whenever the default registry changes. If a registry is
+// already installed the hook runs immediately. Instrumented packages
+// call this from init() with a hook that tolerates a nil registry.
+func OnEnable(hook func(*Registry)) {
+	hooksMu.Lock()
+	defer hooksMu.Unlock()
+	hooks = append(hooks, hook)
+	if r := defReg.Load(); r != nil {
+		hook(r)
+	}
+}

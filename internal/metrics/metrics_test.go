@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+	)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestCounterShardsSum(t *testing.T) {
+	r := New()
+	c := r.Counter("ops")
+	var wg sync.WaitGroup
+	const workers, each = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if again := r.Counter("ops"); again != c {
+		t.Fatal("Counter must be get-or-create, not create-always")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for _, v := range []int64{0, 1, 1, 2, 3, 4, 100, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	s := h.snapshot()
+	// Expected buckets: le=0 (the 0), le=1 (two 1s), le=3 (2 and 3),
+	// le=7 (4), le=127 (100), le=2^41-1 (1<<40).
+	want := map[int64]int64{0: 1, 1: 2, 3: 2, 7: 1, 127: 1, 1<<41 - 1: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Fatalf("bucket le=%d count=%d, want %d (all: %+v)", b.Le, b.Count, want[b.Le], s.Buckets)
+		}
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 = %d, want 3", q)
+	}
+	if q := s.Quantile(1); q != 1<<41-1 {
+		t.Fatalf("max bucket = %d", q)
+	}
+	if m := s.Mean(); m < 1 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := New()
+	r.Counter("a").Add(10)
+	r.Histogram("h").Observe(5)
+	before := r.Snapshot()
+	r.Counter("a").Add(7)
+	r.Counter("b").Inc()
+	r.Histogram("h").Observe(5)
+	r.Histogram("h").Observe(600)
+	d := r.Snapshot().Sub(before)
+	if d.Counters["a"] != 7 || d.Counters["b"] != 1 {
+		t.Fatalf("counter delta = %+v", d.Counters)
+	}
+	if h := d.Histograms["h"]; h.Count != 2 || h.Sum != 605 {
+		t.Fatalf("histogram delta = %+v", h)
+	}
+	// Unchanged counters are dropped from the delta.
+	r2 := New()
+	r2.Counter("same").Add(3)
+	s := r2.Snapshot()
+	if d := r2.Snapshot().Sub(s); len(d.Counters) != 0 || len(d.Histograms) != 0 {
+		t.Fatalf("no-op delta not empty: %+v", d)
+	}
+}
+
+func TestSumCountersByPrefix(t *testing.T) {
+	r := New()
+	r.Counter("memory.register.read").Add(3)
+	r.Counter("memory.snapshot.scan").Add(4)
+	r.Counter("sim.steps").Add(99)
+	s := r.Snapshot()
+	if got := s.SumCounters("memory."); got != 7 {
+		t.Fatalf("SumCounters = %d, want 7", got)
+	}
+	if got := s.SumCounters("memory.", "sim."); got != 106 {
+		t.Fatalf("SumCounters = %d, want 106", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(-5)
+	r.Histogram("h").Observe(9)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c"] != 2 || back.Gauges["g"] != -5 || back.Histograms["h"].Count != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestTextTable(t *testing.T) {
+	r := New()
+	r.Counter("memory.register.write").Add(12)
+	h := r.Histogram("sim.run_steps")
+	h.Observe(100)
+	h.Observe(200)
+	out := r.Snapshot().Text()
+	for _, want := range []string{"memory.register.write", "12", "sim.run_steps", "p95"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOnEnableHookRebinding(t *testing.T) {
+	defer SetDefault(nil)
+	var cached *Counter
+	OnEnable(func(r *Registry) { cached = r.Counter("hooked") })
+	if cached != nil {
+		t.Fatal("hook ran with instruments before any registry was set")
+	}
+	r := New()
+	SetDefault(r)
+	if cached == nil {
+		t.Fatal("hook did not bind on SetDefault")
+	}
+	cached.Inc()
+	if r.Snapshot().Counters["hooked"] != 1 {
+		t.Fatal("cached counter not wired to registry")
+	}
+	SetDefault(nil)
+	if cached != nil {
+		t.Fatal("hook did not unbind on SetDefault(nil)")
+	}
+	if !EnabledIs(false) {
+		t.Fatal("Enabled() should be false after SetDefault(nil)")
+	}
+}
+
+// EnabledIs makes the final assertion readable.
+func EnabledIs(want bool) bool { return Enabled() == want }

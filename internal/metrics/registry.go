@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/oblivious-consensus/conciliator/internal/stats"
+)
+
+// Registry owns a namespace of instruments. Get-or-create lookups take a
+// mutex, so instrumented packages resolve their instruments once (at
+// OnEnable time) and cache the pointers; per-operation paths never touch
+// the registry itself.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Bucket is one non-empty histogram bucket: Count observations were
+// <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns Sum/Count (0 for an empty histogram).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile from the buckets: the value returned
+// is the inclusive upper bound of the bucket holding the nearest-rank
+// element, i.e. correct to within the bucket's power-of-two resolution.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	uppers := make([]int64, len(h.Buckets))
+	counts := make([]int64, len(h.Buckets))
+	for i, b := range h.Buckets {
+		uppers[i], counts[i] = b.Le, b.Count
+	}
+	return stats.BucketQuantile(uppers, counts, q)
+}
+
+// Snapshot is a point-in-time copy of a whole registry, suitable for
+// JSON encoding (the payload of the conciliator-metrics/v1 record) and
+// for diffing around a workload.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value. A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Sub returns the change from prev to s: counter and histogram values
+// are subtracted (zero results dropped); gauges keep their current
+// value, as instantaneous readings have no meaningful delta.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for name, v := range s.Counters {
+		if d := v - prev.Counters[name]; d != 0 {
+			out.Counters[name] = d
+		}
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		d := subHist(h, prev.Histograms[name])
+		if d.Count != 0 {
+			out.Histograms[name] = d
+		}
+	}
+	return out
+}
+
+// subHist subtracts two bucket lists keyed by upper bound.
+func subHist(cur, prev HistogramSnapshot) HistogramSnapshot {
+	prevAt := make(map[int64]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevAt[b.Le] = b.Count
+	}
+	out := HistogramSnapshot{Count: cur.Count - prev.Count, Sum: cur.Sum - prev.Sum}
+	for _, b := range cur.Buckets {
+		if d := b.Count - prevAt[b.Le]; d != 0 {
+			out.Buckets = append(out.Buckets, Bucket{Le: b.Le, Count: d})
+		}
+	}
+	return out
+}
+
+// CounterNames returns the snapshot's counter names, sorted.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the snapshot's histogram names, sorted.
+func (s Snapshot) HistogramNames() []string {
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SumCounters adds up every counter whose name starts with one of the
+// given prefixes. Reconciliation checks use it to compare, e.g., all
+// "memory." operation counts against the simulator's step total.
+func (s Snapshot) SumCounters(prefixes ...string) int64 {
+	var total int64
+	for name, v := range s.Counters {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				total += v
+				break
+			}
+		}
+	}
+	return total
+}
+
+// Text renders the snapshot as an aligned two-section table (counters,
+// then histograms with mean and bucket-resolution quantiles), the
+// "stats table" view experiments print after a run.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		w := 7 // len("counter")
+		for _, name := range s.CounterNames() {
+			if len(name) > w {
+				w = len(name)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %s\n", w, "counter", "value")
+		for _, name := range s.CounterNames() {
+			fmt.Fprintf(&b, "%-*s  %d\n", w, name, s.Counters[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		if b.Len() > 0 {
+			b.WriteString("\n")
+		}
+		w := 9 // len("histogram")
+		for _, name := range s.HistogramNames() {
+			if len(name) > w {
+				w = len(name)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %10s  %12s  %10s  %10s  %10s\n", w, "histogram", "count", "mean", "p50", "p95", "max")
+		for _, name := range s.HistogramNames() {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "%-*s  %10d  %12.2f  %10d  %10d  %10d\n",
+				w, name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(1))
+		}
+	}
+	return b.String()
+}

@@ -49,8 +49,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/metrics"
 	"github.com/oblivious-consensus/conciliator/internal/sched"
 	"github.com/oblivious-consensus/conciliator/internal/xrand"
 )
@@ -221,6 +223,55 @@ func Counters() (steps, slots int64) {
 	return totalStepsRun.Load(), totalSlotsRun.Load()
 }
 
+// Cached metrics instruments; all nil (free no-ops) until a registry is
+// installed. The step-latency histogram records wall nanoseconds per
+// modeled step, amortized over each grant window: the driver times the
+// window's grant-to-complete interval and divides by the window's slot
+// count. For crash-aware sources (one-slot windows) the value is the
+// exact per-slot latency; for wide windows it is the per-slot average,
+// which costs only two clock reads per up-to-256-slot window and so
+// stays off the step hot path entirely.
+var (
+	mRuns       *metrics.Counter
+	mSteps      *metrics.Counter
+	mSlots      *metrics.Counter
+	mRunSteps   *metrics.Histogram
+	mRunSlots   *metrics.Histogram
+	mWindowSize *metrics.Histogram
+	mStepNanos  *metrics.Histogram
+)
+
+func init() {
+	metrics.OnEnable(func(r *metrics.Registry) {
+		mRuns = r.Counter("sim.runs")
+		mSteps = r.Counter("sim.steps")
+		mSlots = r.Counter("sim.slots")
+		mRunSteps = r.Histogram("sim.run_steps")
+		mRunSlots = r.Histogram("sim.run_slots")
+		mWindowSize = r.Histogram("sim.window_slots")
+		mStepNanos = r.Histogram("sim.step_latency_ns")
+	})
+}
+
+// observeRun records one completed run into the process-wide counters
+// and, when enabled, the metrics registry.
+func observeRun(res Result, controlled bool) {
+	totalStepsRun.Add(res.TotalSteps)
+	if controlled {
+		totalSlotsRun.Add(res.Slots)
+	}
+	if mRuns == nil {
+		return
+	}
+	mRuns.Inc()
+	mSteps.Add(res.TotalSteps)
+	mRunSteps.Observe(res.TotalSteps)
+	if controlled {
+		mSlots.Add(res.Slots)
+		mRunSlots.Observe(res.Slots)
+	}
+}
+
 // Result reports what happened during a run.
 type Result struct {
 	// Steps[i] is the number of shared-memory operations process i
@@ -293,8 +344,7 @@ func RunControlled(src sched.Source, body Body, cfg Config) (Result, error) {
 	}
 
 	res, err := drive(src, rs, cfg)
-	totalStepsRun.Add(res.TotalSteps)
-	totalSlotsRun.Add(res.Slots)
+	observeRun(res, true)
 
 	// Unblock any processes still blocked at Step so their goroutines
 	// exit: a nil grant makes Step call Goexit. Every unfinished process
@@ -409,7 +459,16 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 			}
 			slots++
 			if rs.done[pid] || !alive(pid) {
-				continue // uncharged no-op slot, per the model
+				// Uncharged no-op slot, per the model. Crossing a crash
+				// cutoff can finish the run mid-draw (the last unfinished
+				// processes all died); without this check the draw loop
+				// would spin through no-op slots to the budget, since only
+				// live pids are emitted post-cutoff and all of them are
+				// done.
+				if ca != nil && liveDone() {
+					break
+				}
+				continue
 			}
 			entries = append(entries, entry{pid: int32(pid), slotEnd: slots})
 		}
@@ -417,8 +476,16 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 			w := &rs.win
 			w.entries = entries
 			w.j = 0
+			var t0 time.Time
+			if mStepNanos != nil {
+				t0 = time.Now()
+			}
 			procs[entries[0].pid].grant <- w
 			<-rs.complete // evWindow: the chain ran the whole window
+			if mStepNanos != nil {
+				mWindowSize.Observe(int64(len(entries)))
+				mStepNanos.Observe(time.Since(t0).Nanoseconds() / int64(len(entries)))
+			}
 			if liveDone() {
 				// The run completed mid-window; trailing pre-drawn slots
 				// were never consumed by the model. Roll back to the slot
@@ -477,7 +544,7 @@ func RunConcurrent(n int, body Body, cfg Config) Result {
 		res.TotalSteps += res.Steps[i]
 		res.Finished[i] = true
 	}
-	totalStepsRun.Add(res.TotalSteps)
+	observeRun(res, false)
 	return res
 }
 

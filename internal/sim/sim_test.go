@@ -135,6 +135,48 @@ func TestSlotBudget(t *testing.T) {
 	}
 }
 
+// noSkipCrashSource hides the Skipper fast path of a crash-aware source,
+// forcing the driver onto slot-at-a-time draws (the path recording
+// sources take).
+type noSkipCrashSource struct {
+	src sched.Source
+	ca  sched.CrashAware
+}
+
+func (s noSkipCrashSource) N() int            { return s.src.N() }
+func (s noSkipCrashSource) Next() int         { return s.src.Next() }
+func (s noSkipCrashSource) Alive(pid int) bool { return s.ca.Alive(pid) }
+
+func TestCrashTailEndsRunAtCutoff(t *testing.T) {
+	// The survivor finishes before the crash cutoff passes; the victims
+	// never finish. Crossing the cutoff completes the run mid-draw, and
+	// the driver must notice instead of spinning through no-op slots to
+	// the slot budget (found by FuzzCrashScheduleReplay).
+	const cutoff = 50
+	cs := sched.NewCrashSet(sched.NewRoundRobin(3), []int{0, 1}, cutoff, 1)
+	res, err := RunControlled(noSkipCrashSource{src: cs, ca: cs}, func(p *Proc) {
+		steps := 1
+		if p.ID() != 2 {
+			steps = 100000 // victims can never finish
+		}
+		for i := 0; i < steps; i++ {
+			p.Step()
+		}
+	}, Config{AlgSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots > cutoff+3 {
+		t.Fatalf("slots = %d, want run to end right after the cutoff (%d)", res.Slots, cutoff)
+	}
+	want := []bool{false, false, true}
+	for pid, f := range res.Finished {
+		if f != want[pid] {
+			t.Errorf("Finished[%d] = %v, want %v", pid, f, want[pid])
+		}
+	}
+}
+
 func TestNoStepBodyFinishesImmediately(t *testing.T) {
 	ran := make([]bool, 3)
 	res, err := RunControlled(sched.NewRoundRobin(3), func(p *Proc) {

@@ -123,6 +123,38 @@ func Proportion(hits, trials int) (p, ci float64) {
 	return p, ci
 }
 
+// BucketQuantile returns the nearest-rank q-quantile of a sample known
+// only through histogram buckets: counts[i] observations were at most
+// uppers[i] (and above uppers[i-1]). It returns the upper bound of the
+// bucket containing the nearest-rank element — exact to the bucket
+// resolution, which for power-of-two buckets means within a factor of
+// two. Buckets must be sorted by upper bound; an empty histogram
+// returns 0.
+func BucketQuantile(uppers, counts []int64, q float64) int64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(uppers) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return uppers[i]
+		}
+	}
+	return uppers[len(uppers)-1]
+}
+
 // LinearFit fits y = a + b*x by least squares and returns (a, b). It
 // requires len(xs) == len(ys) and at least two points; otherwise it
 // returns zeros.

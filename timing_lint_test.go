@@ -1,0 +1,79 @@
+package conciliator_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoTimingDependentTests enforces the repository's determinism
+// policy: test code must never sleep or wait on wall-clock timers to
+// "let the other goroutine run". Every concurrency test here drives
+// interleavings through the controlled scheduler (or real -race
+// execution with proper synchronization), so timing primitives in test
+// files are either a flake waiting to happen or a smell that a schedule
+// should have been explicit. The check parses every _test.go file and
+// rejects calls of time.Sleep, time.After, time.Tick, and timer/ticker
+// constructors.
+func TestNoTimingDependentTests(t *testing.T) {
+	banned := map[string]bool{
+		"Sleep":     true,
+		"After":     true,
+		"AfterFunc": true,
+		"Tick":      true,
+		"NewTimer":  true,
+		"NewTicker": true,
+	}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		// Only flag files that import the real "time" package; a local
+		// package named time would be somebody else's problem.
+		importsTime := false
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"time"` && imp.Name == nil {
+				importsTime = true
+			}
+		}
+		if !importsTime {
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "time" || !banned[sel.Sel.Name] {
+				return true
+			}
+			t.Errorf("%s: time.%s in a test file — use the controlled scheduler or explicit synchronization instead",
+				fset.Position(sel.Pos()), sel.Sel.Name)
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
