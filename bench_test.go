@@ -13,6 +13,7 @@ import (
 	"github.com/oblivious-consensus/conciliator/internal/adoptcommit"
 	core "github.com/oblivious-consensus/conciliator/internal/conciliator"
 	"github.com/oblivious-consensus/conciliator/internal/consensus"
+	"github.com/oblivious-consensus/conciliator/internal/memory"
 	"github.com/oblivious-consensus/conciliator/internal/metrics"
 	"github.com/oblivious-consensus/conciliator/internal/sched"
 	"github.com/oblivious-consensus/conciliator/internal/sim"
@@ -100,6 +101,7 @@ func benchControlledSteps(b *testing.B) {
 	for _, tc := range cases {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var totalSteps, totalSlots int64
 			for i := 0; i < b.N; i++ {
 				res, err := sim.RunControlled(tc.mk(tc.n, uint64(i)+1), func(p *sim.Proc) {
@@ -120,6 +122,62 @@ func benchControlledSteps(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSubstrateHotPath measures the exclusive substrate's
+// per-operation cost inside a controlled run: each benchmark iteration is
+// one shared-memory operation executed by a scheduled process, so ns/op
+// is the end-to-end cost of a modeled step (coroutine handoff included)
+// and allocs/op must be zero for every operation the protocols use in
+// their inner loops. The allocating Scan is included for contrast.
+func BenchmarkSubstrateHotPath(b *testing.B) {
+	run := func(b *testing.B, setup func(p *sim.Proc) func()) {
+		b.Helper()
+		b.ReportAllocs()
+		if _, err := sim.RunControlled(sched.NewRoundRobin(1), func(p *sim.Proc) {
+			op := setup(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		}, sim.Config{AlgSeed: 1, MaxSlots: 1 << 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("register-write", func(b *testing.B) {
+		run(b, func(p *sim.Proc) func() {
+			r := memory.NewRegister[int]()
+			return func() { r.Write(p, 7) }
+		})
+	})
+	b.Run("register-read", func(b *testing.B) {
+		run(b, func(p *sim.Proc) func() {
+			r := memory.NewRegister[int]()
+			r.Write(p, 7)
+			return func() { r.Read(p) }
+		})
+	})
+	b.Run("maxreg-writemax", func(b *testing.B) {
+		run(b, func(p *sim.Proc) func() {
+			m := memory.NewMaxRegister[int]()
+			return func() { m.WriteMax(p, 5, 1) }
+		})
+	})
+	b.Run("snapshot-scaninto/n=64", func(b *testing.B) {
+		run(b, func(p *sim.Proc) func() {
+			s := memory.NewSnapshot[int](64)
+			s.Update(p, 0, 1)
+			var buf []memory.Entry[int]
+			return func() { buf = s.ScanInto(p, buf) }
+		})
+	})
+	b.Run("snapshot-scan-alloc/n=64", func(b *testing.B) {
+		run(b, func(p *sim.Proc) func() {
+			s := memory.NewSnapshot[int](64)
+			s.Update(p, 0, 1)
+			return func() { s.Scan(p) }
+		})
+	})
 }
 
 // BenchmarkPriorityConciliator is E1/E2: one full Algorithm 1 execution

@@ -23,7 +23,9 @@ import (
 
 	"github.com/oblivious-consensus/conciliator/internal/experiment"
 	"github.com/oblivious-consensus/conciliator/internal/metrics"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
 	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
 )
 
 // benchRecord is the machine-readable perf record written by -bench-json.
@@ -82,19 +84,20 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("consensusbench", flag.ContinueOnError)
 	var (
-		list    = fs.Bool("list", false, "list experiments and exit")
-		expID   = fs.String("experiment", "", "experiment id(s) to run, comma-separated (E1..E16)")
-		all     = fs.Bool("all", false, "run every experiment")
-		trials  = fs.Int("trials", 0, "trials per configuration (0 = per-experiment default)")
-		seed    = fs.Uint64("seed", 0, "master seed (0 = default)")
-		quick   = fs.Bool("quick", false, "small sweeps for a fast smoke run")
-		format   = fs.String("format", "text", "output format: text, markdown, or tsv")
-		timings  = fs.Bool("timings", false, "print wall-clock time per experiment")
-		parallel = fs.Int("parallel", 0, "trial workers per experiment (0 = NumCPU); results are identical for any value")
-		benchOut = fs.String("bench-json", "", "write a JSON perf record (steps/sec, slots/sec, wall time per experiment) to this path")
-		metricsOut   = fs.String("metrics-json", "", "write a JSON metrics record (per-object op counts, phase step attribution, histograms) to this path")
-		metricsTable = fs.Bool("metrics", false, "print the metrics table after the run")
-		debugAddr    = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) while experiments run")
+		list          = fs.Bool("list", false, "list experiments and exit")
+		expID         = fs.String("experiment", "", "experiment id(s) to run, comma-separated (E1..E16)")
+		all           = fs.Bool("all", false, "run every experiment")
+		trials        = fs.Int("trials", 0, "trials per configuration (0 = per-experiment default)")
+		seed          = fs.Uint64("seed", 0, "master seed (0 = default)")
+		quick         = fs.Bool("quick", false, "small sweeps for a fast smoke run")
+		format        = fs.String("format", "text", "output format: text, markdown, or tsv")
+		timings       = fs.Bool("timings", false, "print wall-clock time per experiment")
+		parallel      = fs.Int("parallel", 0, "trial workers per experiment (0 = NumCPU); results are identical for any value")
+		benchOut      = fs.String("bench-json", "", "write a JSON perf record (steps/sec, slots/sec, wall time per experiment) to this path")
+		benchBaseline = fs.String("bench-baseline", "", "compare this run's controlled-steps entries against a committed bench record; exit nonzero on a >10% steps/s regression")
+		metricsOut    = fs.String("metrics-json", "", "write a JSON metrics record (per-object op counts, phase step attribution, histograms) to this path")
+		metricsTable  = fs.Bool("metrics", false, "print the metrics table after the run")
+		debugAddr     = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) while experiments run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -220,6 +223,13 @@ func run(args []string, out io.Writer) error {
 		}
 		rec.Experiments = append(rec.Experiments, entry)
 	}
+	if *benchOut != "" || *benchBaseline != "" {
+		// The controlled-steps microbenchmarks measure raw simulator
+		// throughput independent of any protocol, which is what the
+		// baseline gate compares: experiment entries are dominated by
+		// protocol statistics, these by the engine.
+		rec.Experiments = append(rec.Experiments, controlledStepsEntries()...)
+	}
 	if *benchOut != "" {
 		rec.TotalWallSeconds = time.Since(suiteStart).Seconds()
 		data, err := json.MarshalIndent(rec, "", "  ")
@@ -229,6 +239,11 @@ func run(args []string, out io.Writer) error {
 		data = append(data, '\n')
 		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
 			return fmt.Errorf("writing bench record: %w", err)
+		}
+	}
+	if *benchBaseline != "" {
+		if err := compareBaseline(out, rec, *benchBaseline); err != nil {
+			return err
 		}
 	}
 	if wantMetrics {
@@ -246,6 +261,138 @@ func run(args []string, out io.Writer) error {
 		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
 			return fmt.Errorf("writing metrics record: %w", err)
 		}
+	}
+	return nil
+}
+
+// controlledStepsRuns is the fixed per-workload run count of the
+// controlled-steps microbenchmarks: deterministic work (the steps/s
+// denominator varies only with machine speed) keeps baseline comparisons
+// meaningful across runs.
+const controlledStepsRuns = 64
+
+// controlledStepsEntries runs the controlled-steps microbenchmark suite —
+// the same four workloads as BenchmarkControlledSteps — and returns one
+// bench entry per workload under the "controlled-steps/" id prefix.
+func controlledStepsEntries() []benchEntry {
+	cases := []struct {
+		name  string
+		n     int
+		steps func(pid int) int
+		mk    func(n int, seed uint64) sched.Source
+	}{
+		{
+			name:  "round-robin/n=8",
+			n:     8,
+			steps: func(int) int { return 2048 },
+			mk:    func(n int, _ uint64) sched.Source { return sched.NewRoundRobin(n) },
+		},
+		{
+			name:  "round-robin/n=64",
+			n:     64,
+			steps: func(int) int { return 256 },
+			mk:    func(n int, _ uint64) sched.Source { return sched.NewRoundRobin(n) },
+		},
+		{
+			name:  "random/n=64",
+			n:     64,
+			steps: func(int) int { return 256 },
+			mk:    func(n int, seed uint64) sched.Source { return sched.NewRandom(n, xrand.New(seed)) },
+		},
+		{
+			name: "skewed-tail/n=64",
+			n:    64,
+			steps: func(pid int) int {
+				if pid == 0 {
+					return 4096
+				}
+				return 1
+			},
+			mk: func(n int, _ uint64) sched.Source { return sched.NewRoundRobin(n) },
+		},
+	}
+	entries := make([]benchEntry, 0, len(cases))
+	for _, tc := range cases {
+		var totalSteps, totalSlots int64
+		start := time.Now()
+		for i := 0; i < controlledStepsRuns; i++ {
+			res, err := sim.RunControlled(tc.mk(tc.n, uint64(i)+1), func(p *sim.Proc) {
+				for s := tc.steps(p.ID()); s > 0; s-- {
+					p.Step()
+				}
+			}, sim.Config{AlgSeed: uint64(i) + 1})
+			if err != nil {
+				// The workloads are infinite-schedule and tiny relative to
+				// the slot budget; an error here is a simulator bug, not a
+				// measurement artifact.
+				panic(err)
+			}
+			totalSteps += res.TotalSteps
+			totalSlots += res.Slots
+		}
+		secs := time.Since(start).Seconds()
+		entry := benchEntry{
+			ID:          "controlled-steps/" + tc.name,
+			WallSeconds: secs,
+			Steps:       totalSteps,
+			Slots:       totalSlots,
+		}
+		if secs > 0 {
+			entry.StepsPerSec = float64(totalSteps) / secs
+			entry.SlotsPerSec = float64(totalSlots) / secs
+		}
+		entries = append(entries, entry)
+	}
+	return entries
+}
+
+// regressionTolerance is how far below baseline a controlled-steps
+// workload's steps/s may fall before compareBaseline fails the run.
+const regressionTolerance = 0.9
+
+// compareBaseline checks this run's controlled-steps entries against the
+// committed record at path, printing one line per workload and returning
+// an error if any workload regressed by more than 10% steps/s. Workloads
+// absent from the baseline are reported and skipped, so new workloads can
+// be introduced before the baseline is refreshed.
+func compareBaseline(out io.Writer, rec benchRecord, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading bench baseline: %w", err)
+	}
+	var base benchRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing bench baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]benchEntry, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseline[e.ID] = e
+	}
+	var failures []string
+	compared := 0
+	for _, e := range rec.Experiments {
+		if !strings.HasPrefix(e.ID, "controlled-steps/") {
+			continue
+		}
+		b, ok := baseline[e.ID]
+		if !ok || b.StepsPerSec <= 0 {
+			fmt.Fprintf(out, "bench-baseline: %-32s no baseline entry, skipped\n", e.ID)
+			continue
+		}
+		compared++
+		ratio := e.StepsPerSec / b.StepsPerSec
+		fmt.Fprintf(out, "bench-baseline: %-32s %11.0f steps/s vs %11.0f baseline (%+.1f%%)\n",
+			e.ID, e.StepsPerSec, b.StepsPerSec, (ratio-1)*100)
+		if ratio < regressionTolerance {
+			failures = append(failures, fmt.Sprintf("%s (%.1f%% of baseline)", e.ID, ratio*100))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("bench-baseline: %s has no controlled-steps entries to compare against", path)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench-baseline: steps/s regressed more than %d%%: %s",
+			int((1-regressionTolerance)*100), strings.Join(failures, ", "))
 	}
 	return nil
 }

@@ -291,15 +291,93 @@ func TestBenchJSON(t *testing.T) {
 	if rec.Seed == 0 || rec.Parallelism == 0 {
 		t.Errorf("defaults not recorded: seed=%d parallelism=%d", rec.Seed, rec.Parallelism)
 	}
-	if len(rec.Experiments) != 2 {
-		t.Fatalf("got %d experiment entries, want 2", len(rec.Experiments))
-	}
+	// Two experiment entries plus the controlled-steps microbenchmark
+	// entries the baseline gate compares against.
+	var expEntries, ctrlEntries int
 	for _, e := range rec.Experiments {
+		if strings.HasPrefix(e.ID, "controlled-steps/") {
+			ctrlEntries++
+		} else {
+			expEntries++
+		}
 		if e.ID == "" || e.Steps <= 0 || e.Slots <= 0 {
 			t.Errorf("degenerate entry: %+v", e)
 		}
 		if e.WallSeconds > 0 && e.StepsPerSec <= 0 {
 			t.Errorf("steps/sec not computed: %+v", e)
 		}
+	}
+	if expEntries != 2 {
+		t.Fatalf("got %d experiment entries, want 2", expEntries)
+	}
+	if ctrlEntries != 4 {
+		t.Fatalf("got %d controlled-steps entries, want 4", ctrlEntries)
+	}
+}
+
+func TestBenchBaselineGate(t *testing.T) {
+	// Produce a record with this very binary, then doctor its numbers in
+	// both directions. Comparing a fresh measurement against an unmodified
+	// record of the same machine would race against timing noise (the
+	// race detector alone can swing throughput well past the tolerance),
+	// so the pass case deflates the baseline and the fail case inflates
+	// it far beyond what any machine can recover.
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var b strings.Builder
+	if err := run([]string{"-experiment", "E3", "-quick", "-bench-json", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	doctor := func(name string, factor float64) string {
+		scaled := rec
+		scaled.Experiments = make([]benchEntry, len(rec.Experiments))
+		copy(scaled.Experiments, rec.Experiments)
+		for i := range scaled.Experiments {
+			scaled.Experiments[i].StepsPerSec *= factor
+		}
+		out, err := json.Marshal(scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(p, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	b.Reset()
+	if err := run([]string{"-experiment", "E3", "-quick", "-bench-baseline", doctor("deflated.json", 1e-3)}, &b); err != nil {
+		t.Fatalf("gate failed against a deflated baseline: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "bench-baseline: controlled-steps/round-robin/n=8") {
+		t.Errorf("comparison lines not printed:\n%s", b.String())
+	}
+
+	b.Reset()
+	err = run([]string{"-experiment", "E3", "-quick", "-bench-baseline", doctor("inflated.json", 1e3)}, &b)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("gate did not fail against inflated baseline: %v", err)
+	}
+}
+
+func TestBenchBaselineWithoutControlledEntries(t *testing.T) {
+	// A baseline without controlled-steps entries (e.g. a pre-upgrade
+	// record) is an error, not a silent pass.
+	stale := filepath.Join(t.TempDir(), "stale.json")
+	if err := os.WriteFile(stale, []byte(`{"schema":"conciliator-bench/v1","experiments":[{"id":"E1","steps_per_sec":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err := run([]string{"-experiment", "E3", "-quick", "-bench-baseline", stale}, &b)
+	if err == nil || !strings.Contains(err.Error(), "no controlled-steps entries") {
+		t.Fatalf("expected no-entries error, got: %v", err)
 	}
 }

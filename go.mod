@@ -1,3 +1,3 @@
 module github.com/oblivious-consensus/conciliator
 
-go 1.22
+go 1.23

@@ -305,3 +305,5 @@ func TestDecisionString(t *testing.T) {
 type countingCtx struct{ steps int }
 
 func (c *countingCtx) Step() { c.steps++ }
+
+func (c *countingCtx) Exclusive() bool { return false }

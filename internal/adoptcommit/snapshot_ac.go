@@ -48,7 +48,7 @@ func (a *SnapshotAC[V]) Propose(ctx memory.Context, pid int, v V) (dec Decision,
 	defer func() { meterPropose(mSnapPropose, ctx, before, dec) }()
 	a.phase1.Update(ctx, pid, v)
 	clean := true
-	for _, e := range a.phase1.Scan(ctx) {
+	for _, e := range a.phase1.ScanScratch(ctx) {
 		if e.OK && e.Value != v {
 			clean = false
 			break
@@ -61,7 +61,7 @@ func (a *SnapshotAC[V]) Propose(ctx memory.Context, pid int, v V) (dec Decision,
 		cleanValue V
 		allCleanV  = true
 	)
-	for _, e := range a.phase2.Scan(ctx) {
+	for _, e := range a.phase2.ScanScratch(ctx) {
 		if !e.OK {
 			continue
 		}

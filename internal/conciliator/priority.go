@@ -227,6 +227,9 @@ type priorityRun[V comparable] struct {
 	i     int
 	input V
 	wrote bool
+	// view is the reused scan buffer for the snapshot-array rounds; it
+	// keeps the per-round Scan allocation-free after the first round.
+	view []memory.Entry[*persona.Persona[V]]
 }
 
 func (r *priorityRun[V]) Done() bool                   { return r.i >= r.c.rounds }
@@ -260,9 +263,9 @@ func (r *priorityRun[V]) Step(p *sim.Proc) {
 	} else {
 		a := c.arrays[i]
 		a.Update(p, p.ID(), r.pers)
-		view := a.Scan(p)
+		r.view = a.ScanInto(p, r.view)
 		var best *persona.Persona[V]
-		for _, e := range view {
+		for _, e := range r.view {
 			if !e.OK {
 				continue
 			}

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+// TestExclusiveSubstrateByteIdentity runs the E1/E6/E7 quick tables once
+// on the exclusive (lock-elided) substrate and once on the locked one and
+// requires bit-for-bit identical output. Lock elision is a pure execution
+// optimization: the controlled scheduler already serializes every
+// operation, so whether an operation additionally takes the object mutex
+// must be unobservable in any modeled quantity.
+func TestExclusiveSubstrateByteIdentity(t *testing.T) {
+	render := func(id string) string {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		var b strings.Builder
+		for _, tbl := range e.Run(Params{Quick: true, Trials: 8, Parallelism: 2}) {
+			fmt.Fprintln(&b, tbl.Text())
+		}
+		return b.String()
+	}
+
+	for _, id := range []string{"E1", "E6", "E7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			prev := sim.SetExclusiveSubstrate(true)
+			exclusive := render(id)
+			sim.SetExclusiveSubstrate(false)
+			locked := render(id)
+			sim.SetExclusiveSubstrate(prev)
+			if exclusive != locked {
+				t.Errorf("%s tables differ between exclusive and locked substrate.\nexclusive:\n%s\nlocked:\n%s", id, exclusive, locked)
+			}
+		})
+	}
+}

@@ -51,14 +51,28 @@ func (s *AfekSnapshot[T]) Update(ctx Context, i int, v T) {
 // includes the scan embedded in every Update; the individual register
 // steps land in the register counters.
 func (s *AfekSnapshot[T]) Scan(ctx Context) []Entry[T] {
+	return s.ScanInto(ctx, nil)
+}
+
+// ScanInto is Scan writing the view into buf (grown as needed). The
+// double-collect bookkeeping still allocates per scan — this object
+// exists to expose the cost gap against the unit-cost Snapshot, not to
+// win benchmarks — but the returned view reuses buf's storage.
+func (s *AfekSnapshot[T]) ScanInto(ctx Context, buf []Entry[T]) []Entry[T] {
 	mAfekScan.Inc()
 	n := len(s.cells)
+	if cap(buf) < n {
+		buf = make([]Entry[T], n)
+	} else {
+		buf = buf[:n]
+	}
 	moved := make([]int, n)
 	prev := s.collect(ctx)
 	for {
 		cur := s.collect(ctx)
 		if sameSeqs(prev, cur) {
-			return viewOf(cur)
+			viewInto(buf, cur)
+			return buf
 		}
 		for i := range cur {
 			if cur[i].seq == prev[i].seq {
@@ -69,9 +83,8 @@ func (s *AfekSnapshot[T]) Scan(ctx Context) []Entry[T] {
 				// Writer i completed an entire update inside our scan, so
 				// its embedded view was taken inside our interval and can
 				// be returned as our own.
-				out := make([]Entry[T], len(cur[i].view))
-				copy(out, cur[i].view)
-				return out
+				copy(buf, cur[i].view)
+				return buf
 			}
 		}
 		prev = cur
@@ -104,14 +117,14 @@ func sameSeqs[T any](a, b []afekCell[T]) bool {
 	return true
 }
 
-func viewOf[T any](cells []afekCell[T]) []Entry[T] {
-	out := make([]Entry[T], len(cells))
+func viewInto[T any](out []Entry[T], cells []afekCell[T]) {
 	for i, c := range cells {
 		if c.seq > 0 {
 			out[i] = Entry[T]{Value: c.value, OK: true}
+		} else {
+			out[i] = Entry[T]{}
 		}
 	}
-	return out
 }
 
 // SnapshotObject is the interface shared by the unit-cost Snapshot and the
@@ -122,6 +135,7 @@ type SnapshotObject[T any] interface {
 	Components() int
 	Update(ctx Context, i int, v T)
 	Scan(ctx Context) []Entry[T]
+	ScanInto(ctx Context, buf []Entry[T]) []Entry[T]
 }
 
 var (

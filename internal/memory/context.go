@@ -31,6 +31,23 @@ type Context interface {
 	// operation (controlled mode) and charges one step. In concurrent
 	// mode it only charges the step.
 	Step()
+
+	// Exclusive reports whether the caller is guaranteed to be the only
+	// process touching shared objects while its operation runs, letting
+	// objects skip their mutexes. The controlled simulator returns true
+	// (its coroutine engine runs exactly one process at a time by
+	// construction, and every handoff is a synchronization point);
+	// concurrent mode and Free return false, keeping the objects
+	// linearizable under real overlap.
+	Exclusive() bool
+}
+
+// Scratcher is an optional Context capability exposing a per-process
+// scratch arena: reusable buffers keyed by shared object, so hot-path
+// operations like Snapshot.ScanScratch allocate only on first use per
+// (process, object) pair. The simulator's process handle implements it.
+type Scratcher interface {
+	ScratchMap() map[any]any
 }
 
 // Free is a Context that never blocks and charges nothing. It is intended
@@ -39,7 +56,17 @@ var Free Context = freeContext{}
 
 type freeContext struct{}
 
-func (freeContext) Step() {}
+func (freeContext) Step()           {}
+func (freeContext) Exclusive() bool { return false }
+
+// FreeExclusive is Free plus the exclusive capability: for benchmarks and
+// sequential tests that own their objects outright and want the lock-free
+// fast path without a simulator.
+var FreeExclusive Context = freeExclusiveContext{}
+
+type freeExclusiveContext struct{ freeContext }
+
+func (freeExclusiveContext) Exclusive() bool { return true }
 
 // opCounter tracks how many operations an object has served. Atomic so it
 // is safe in concurrent mode; reads are for metrics only.

@@ -38,11 +38,17 @@ func NewMaxRegister[T any]() *MaxRegister[T] {
 // WriteMax implements Maxer.
 func (m *MaxRegister[T]) WriteMax(ctx Context, key uint64, payload T) {
 	ctx.Step()
-	lockMeter(&m.mu, mMaxContend)
-	if !m.set || key > m.key {
-		m.key, m.payload, m.set = key, payload, true
+	if ctx.Exclusive() {
+		if !m.set || key > m.key {
+			m.key, m.payload, m.set = key, payload, true
+		}
+	} else {
+		lockMeter(&m.mu, mMaxContend)
+		if !m.set || key > m.key {
+			m.key, m.payload, m.set = key, payload, true
+		}
+		m.mu.Unlock()
 	}
-	m.mu.Unlock()
 	m.ops.inc()
 	mMaxWrite.Inc()
 }
@@ -50,9 +56,18 @@ func (m *MaxRegister[T]) WriteMax(ctx Context, key uint64, payload T) {
 // ReadMax implements Maxer.
 func (m *MaxRegister[T]) ReadMax(ctx Context) (uint64, T, bool) {
 	ctx.Step()
-	lockMeter(&m.mu, mMaxContend)
-	k, p, ok := m.key, m.payload, m.set
-	m.mu.Unlock()
+	var (
+		k  uint64
+		p  T
+		ok bool
+	)
+	if ctx.Exclusive() {
+		k, p, ok = m.key, m.payload, m.set
+	} else {
+		lockMeter(&m.mu, mMaxContend)
+		k, p, ok = m.key, m.payload, m.set
+		m.mu.Unlock()
+	}
 	m.ops.inc()
 	mMaxRead.Inc()
 	return k, p, ok
@@ -137,7 +152,7 @@ func (n *maxNode[T]) writeMax(ctx Context, depth int, key uint64, payload T) {
 	}
 	half := uint64(1) << uint(depth-1)
 	if key >= half {
-		n.child(&n.right, depth-1).writeMax(ctx, depth-1, key-half, payload)
+		n.child(ctx, &n.right, depth-1).writeMax(ctx, depth-1, key-half, payload)
 		n.swtch.Write(ctx, struct{}{})
 		return
 	}
@@ -146,7 +161,7 @@ func (n *maxNode[T]) writeMax(ctx Context, depth int, key uint64, payload T) {
 		// maximum, so it may be dropped without violating linearizability.
 		return
 	}
-	n.child(&n.left, depth-1).writeMax(ctx, depth-1, key, payload)
+	n.child(ctx, &n.left, depth-1).writeMax(ctx, depth-1, key, payload)
 }
 
 func (n *maxNode[T]) readMax(ctx Context, depth int) (uint64, T, bool) {
@@ -158,21 +173,28 @@ func (n *maxNode[T]) readMax(ctx Context, depth int) (uint64, T, bool) {
 	if _, high := n.swtch.Read(ctx); high {
 		// The switch is set only after the corresponding right-subtree
 		// write completed, so the right subtree is non-empty.
-		k, v, ok := n.child(&n.right, depth-1).readMax(ctx, depth-1)
+		k, v, ok := n.child(ctx, &n.right, depth-1).readMax(ctx, depth-1)
 		return half + k, v, ok
 	}
-	if n.leftNil() {
+	if n.leftNil(ctx) {
 		var zero T
 		return 0, zero, false
 	}
-	return n.child(&n.left, depth-1).readMax(ctx, depth-1)
+	return n.child(ctx, &n.left, depth-1).readMax(ctx, depth-1)
 }
 
 // child returns *slot, creating the node on first use. Lazy creation keeps
 // the tree proportional to the number of distinct key prefixes written
 // rather than 2^bits. Guarded by a package-level mutex because node
-// creation is bookkeeping, not a modeled memory operation.
-func (n *maxNode[T]) child(slot **maxNode[T], depth int) *maxNode[T] {
+// creation is bookkeeping, not a modeled memory operation; exclusive
+// contexts own the whole tree for the duration of the call and skip it.
+func (n *maxNode[T]) child(ctx Context, slot **maxNode[T], depth int) *maxNode[T] {
+	if ctx.Exclusive() {
+		if *slot == nil {
+			*slot = newMaxNode[T](depth)
+		}
+		return *slot
+	}
 	treeMu.Lock()
 	defer treeMu.Unlock()
 	if *slot == nil {
@@ -181,7 +203,10 @@ func (n *maxNode[T]) child(slot **maxNode[T], depth int) *maxNode[T] {
 	return *slot
 }
 
-func (n *maxNode[T]) leftNil() bool {
+func (n *maxNode[T]) leftNil(ctx Context) bool {
+	if ctx.Exclusive() {
+		return n.left == nil
+	}
 	treeMu.Lock()
 	defer treeMu.Unlock()
 	return n.left == nil

@@ -175,3 +175,5 @@ func TestTreeMaxRegisterCostGrowsWithBits(t *testing.T) {
 type countingCtx struct{ steps int }
 
 func (c *countingCtx) Step() { c.steps++ }
+
+func (c *countingCtx) Exclusive() bool { return false }

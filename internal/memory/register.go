@@ -24,10 +24,15 @@ func NewRegister[T any]() *Register[T] {
 // Write atomically stores v, charging one step.
 func (r *Register[T]) Write(ctx Context, v T) {
 	ctx.Step()
-	lockMeter(&r.mu, mRegContend)
-	r.val = v
-	r.set = true
-	r.mu.Unlock()
+	if ctx.Exclusive() {
+		r.val = v
+		r.set = true
+	} else {
+		lockMeter(&r.mu, mRegContend)
+		r.val = v
+		r.set = true
+		r.mu.Unlock()
+	}
 	r.ops.inc()
 	mRegWrite.Inc()
 }
@@ -36,9 +41,17 @@ func (r *Register[T]) Write(ctx Context, v T) {
 // ever been written, charging one step.
 func (r *Register[T]) Read(ctx Context) (T, bool) {
 	ctx.Step()
-	lockMeter(&r.mu, mRegContend)
-	v, ok := r.val, r.set
-	r.mu.Unlock()
+	var (
+		v  T
+		ok bool
+	)
+	if ctx.Exclusive() {
+		v, ok = r.val, r.set
+	} else {
+		lockMeter(&r.mu, mRegContend)
+		v, ok = r.val, r.set
+		r.mu.Unlock()
+	}
 	r.ops.inc()
 	mRegRead.Inc()
 	return v, ok
@@ -51,18 +64,28 @@ func (r *Register[T]) Read(ctx Context) (T, bool) {
 // linearization witness.
 func (r *Register[T]) CompareEmptyAndWrite(ctx Context, v T) (T, bool) {
 	ctx.Step()
-	lockMeter(&r.mu, mRegContend)
-	defer func() {
-		r.mu.Unlock()
-		r.ops.inc()
-		mRegWrite.Inc() // counted as a write: it may install a value
-	}()
-	if r.set {
-		return r.val, false
+	excl := ctx.Exclusive()
+	if !excl {
+		lockMeter(&r.mu, mRegContend)
 	}
-	r.val = v
-	r.set = true
-	return v, true
+	val, installed := r.val, false
+	if !r.set {
+		r.val = v
+		r.set = true
+		val, installed = v, true
+	}
+	if !excl {
+		r.mu.Unlock()
+	}
+	r.ops.inc()
+	if installed {
+		mRegWrite.Inc()
+	} else {
+		// Nothing was installed: the operation only observed state, so it
+		// counts as a read.
+		mRegRead.Inc()
+	}
+	return val, installed
 }
 
 // Ops reports how many operations this register has served.

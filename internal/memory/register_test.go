@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"github.com/oblivious-consensus/conciliator/internal/metrics"
 )
 
 func TestRegisterEmptyRead(t *testing.T) {
@@ -137,5 +139,51 @@ func TestRegisterLastWriteWinsProperty(t *testing.T) {
 		return ok && v == writes[len(writes)-1]
 	}, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCompareEmptyAndWriteCounters pins the metric attribution of both
+// CompareEmptyAndWrite paths: installing a value counts as a write, and
+// the no-install path — which only observes state — counts as a read.
+func TestCompareEmptyAndWriteCounters(t *testing.T) {
+	metrics.SetDefault(metrics.New())
+	defer metrics.SetDefault(nil)
+
+	for _, tc := range []struct {
+		name string
+		ctx  Context
+	}{
+		{"locked", Free},
+		{"exclusive", FreeExclusive},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegister[int]()
+
+			reads, writes := mRegRead.Value(), mRegWrite.Value()
+			if v, ok := r.CompareEmptyAndWrite(tc.ctx, 7); !ok || v != 7 {
+				t.Fatalf("install path = (%d, %v), want (7, true)", v, ok)
+			}
+			if d := mRegWrite.Value() - writes; d != 1 {
+				t.Fatalf("install path write delta = %d, want 1", d)
+			}
+			if d := mRegRead.Value() - reads; d != 0 {
+				t.Fatalf("install path read delta = %d, want 0", d)
+			}
+
+			reads, writes = mRegRead.Value(), mRegWrite.Value()
+			if v, ok := r.CompareEmptyAndWrite(tc.ctx, 9); ok || v != 7 {
+				t.Fatalf("no-install path = (%d, %v), want (7, false)", v, ok)
+			}
+			if d := mRegWrite.Value() - writes; d != 0 {
+				t.Fatalf("no-install path write delta = %d, want 0", d)
+			}
+			if d := mRegRead.Value() - reads; d != 1 {
+				t.Fatalf("no-install path read delta = %d, want 1", d)
+			}
+
+			if got := r.Ops(); got != 2 {
+				t.Fatalf("Ops = %d, want 2", got)
+			}
+		})
 	}
 }

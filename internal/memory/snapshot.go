@@ -34,23 +34,63 @@ func (s *Snapshot[T]) Components() int { return len(s.vals) }
 // Update atomically installs v as component i, charging one step.
 func (s *Snapshot[T]) Update(ctx Context, i int, v T) {
 	ctx.Step()
-	lockMeter(&s.mu, mSnapCont)
-	s.vals[i] = Entry[T]{Value: v, OK: true}
-	s.mu.Unlock()
+	if ctx.Exclusive() {
+		s.vals[i] = Entry[T]{Value: v, OK: true}
+	} else {
+		lockMeter(&s.mu, mSnapCont)
+		s.vals[i] = Entry[T]{Value: v, OK: true}
+		s.mu.Unlock()
+	}
 	s.ops.inc()
 	mSnapUpdate.Inc()
 }
 
 // Scan atomically returns a copy of all components, charging one step.
 func (s *Snapshot[T]) Scan(ctx Context) []Entry[T] {
+	return s.ScanInto(ctx, nil)
+}
+
+// ScanInto is Scan writing the view into buf, which is grown only when
+// its capacity is below the component count. A caller that reuses the
+// returned slice across scans allocates once per object, not per scan.
+func (s *Snapshot[T]) ScanInto(ctx Context, buf []Entry[T]) []Entry[T] {
 	ctx.Step()
-	lockMeter(&s.mu, mSnapCont)
-	out := make([]Entry[T], len(s.vals))
-	copy(out, s.vals)
-	s.mu.Unlock()
+	if cap(buf) < len(s.vals) {
+		buf = make([]Entry[T], len(s.vals))
+	} else {
+		buf = buf[:len(s.vals)]
+	}
+	if ctx.Exclusive() {
+		copy(buf, s.vals)
+	} else {
+		lockMeter(&s.mu, mSnapCont)
+		copy(buf, s.vals)
+		s.mu.Unlock()
+	}
 	s.ops.inc()
 	mSnapScan.Inc()
-	return out
+	return buf
+}
+
+// ScanScratch is ScanInto backed by the caller's per-process scratch
+// arena: the view buffer is keyed by this object on the Context's scratch
+// map and reused across calls, so steady-state scans allocate nothing.
+// The returned view is valid only until the same process's next
+// ScanScratch of the same object. Contexts without the Scratcher
+// capability fall back to a plain allocating Scan.
+func (s *Snapshot[T]) ScanScratch(ctx Context) []Entry[T] {
+	sc, ok := ctx.(Scratcher)
+	if !ok {
+		return s.Scan(ctx)
+	}
+	m := sc.ScratchMap()
+	p, _ := m[s].(*[]Entry[T])
+	if p == nil {
+		p = new([]Entry[T])
+		m[s] = p
+	}
+	*p = s.ScanInto(ctx, *p)
+	return *p
 }
 
 // Ops reports how many operations this snapshot object has served.

@@ -22,31 +22,31 @@
 //
 // # Controlled-mode execution engine
 //
-// The engine hands execution around as a baton. The driver pre-draws a
-// window of schedule slots from the source (resolving uncharged no-op
-// slots as it draws), grants the first scheduled process, and goes to
-// sleep; each process, when it blocks at its next Step, grants the next
-// scheduled process directly. One simulated step therefore costs a single
-// goroutine handoff — and zero handoffs when consecutive slots name the
-// same process — instead of the park/grant round trip through the driver
-// that a naive implementation needs. The driver wakes only once per
-// window to refill it.
+// Each process body runs inside an iter.Pull coroutine. The driver is the
+// adversary loop: it draws one schedule slot at a time from the source
+// (resolving uncharged no-op slots in bulk when the source supports
+// sched.Skipper) and resumes the scheduled process's coroutine, which
+// executes exactly one shared-memory operation and parks at its next
+// Step. A coroutine switch is a direct register-level transfer that never
+// goes through the goroutine scheduler, so one simulated step costs far
+// less than the park/wake round trip of a channel-based engine.
 //
-// Crash-aware sources use a window of one slot, because liveness can flip
-// mid-window when a crash cutoff passes and the driver must observe that
-// at the exact slot the model says it happens. Crash-free sources use
-// wide windows; the only dynamic event inside a window is a process
-// finishing, and the baton chain handles that exactly: slots granted to
-// now-finished processes are consumed as uncharged no-ops, and if the run
-// completes mid-window the driver rolls the slot count back to the slot
-// of the last granted operation — precisely where a slot-at-a-time driver
-// would have stopped.
+// The coroutine engine also makes the run sequential *by construction*:
+// at any instant exactly one of {driver, some process} is running, and
+// every switch is a synchronization point. That invariant is what lets
+// the memory substrate elide its mutexes in exclusive mode (see
+// Proc.Exclusive and the memory package): no two processes of a
+// controlled run can ever touch a shared object concurrently.
+//
+// Run state (Proc values, done flags, scratch buffers) is pooled across
+// runs via sync.Pool, so the -parallel trial runner's steady state does
+// not allocate per trial beyond the Result slices handed to the caller.
 package sim
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
+	"iter"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,74 +65,105 @@ var ErrScheduleExhausted = errors.New("sim: schedule exhausted before all proces
 // fired, which almost always means a protocol failed to terminate.
 var ErrSlotBudget = errors.New("sim: slot budget exceeded")
 
-// maxWindow is the number of schedule slots the driver pre-draws per
-// grant window for crash-free sources. Crash-aware sources use a window
-// of one (see the package comment).
-const maxWindow = 256
+// meterBatch is the number of granted steps the driver amortizes each
+// step-latency observation over when metrics are enabled: two clock reads
+// per batch instead of two per step.
+const meterBatch = 256
 
-// entry is one grantable slot of a window: the scheduled process and the
-// cumulative count of schedule slots consumed up to and including this
-// slot (uncharged no-op slots resolved at draw time sit between entries
-// and are counted by slotEnd).
-type entry struct {
-	pid     int32
-	slotEnd int64
+// lockedSubstrate inverts the exclusive-substrate toggle so the zero
+// value means "exclusive mode on", the default.
+var lockedSubstrate atomic.Bool
+
+// SetExclusiveSubstrate enables (on=true, the default) or disables the
+// exclusive memory substrate for controlled runs started after the call,
+// returning the previous setting. With it disabled, controlled runs use
+// the same mutex-guarded object implementations as concurrent mode —
+// useful for cross-mode equivalence tests and for debugging under -race.
+func SetExclusiveSubstrate(on bool) bool {
+	prev := !lockedSubstrate.Load()
+	lockedSubstrate.Store(!on)
+	return prev
 }
 
-// window is the baton passed from process to process: a pre-drawn run of
-// grantable slots. j is the index of the entry currently granted; it is
-// advanced by whichever process holds the baton, so it needs no locking.
-type window struct {
-	entries []entry
-	j       int
-}
+// procAborted unwinds a process coroutine whose modeled execution ended
+// before the body returned (crashed, schedule exhausted, or budget
+// fired). It is recovered at the coroutine boundary; body defers run.
+type procAborted struct{}
 
-// gateEvent is what process goroutines report to the driver.
-type gateEvent struct {
-	pid  int32
-	kind uint8
-}
-
-const (
-	evStarted uint8 = iota // process reached its first Step and parked
-	evDone                 // process body returned without ever calling Step
-	evWindow               // the granted window completed
-)
-
-// runState is shared by the driver and all process goroutines of one
-// controlled run. The mutable fields (done, doneCnt, win.j) are touched
-// only by the current baton holder or by the driver while no window is in
-// flight, and every handoff goes through a channel, so all access is
-// fully ordered — the controlled execution is sequential by construction.
+// runState is the pooled per-run state of one controlled run: the
+// process handles and the done bookkeeping the driver maintains. Exactly
+// one goroutine owns a runState at a time.
 type runState struct {
-	procs    []*Proc
-	done     []bool
-	doneCnt  int
-	complete chan gateEvent
-	win      window
+	procs   []*Proc
+	done    []bool
+	doneCnt int
+}
+
+var statePool sync.Pool
+
+// getState returns a runState with capacity for n processes, reusing a
+// pooled one when available.
+func getState(n int) *runState {
+	rs, _ := statePool.Get().(*runState)
+	if rs == nil {
+		rs = &runState{}
+	}
+	for len(rs.procs) < n {
+		rs.procs = append(rs.procs, &Proc{})
+	}
+	if cap(rs.done) < n {
+		rs.done = make([]bool, n)
+	}
+	rs.done = rs.done[:n]
+	for i := range rs.done {
+		rs.done[i] = false
+	}
+	rs.doneCnt = 0
+	return rs
+}
+
+// putState returns a runState to the pool. Callers must not retain any
+// *Proc from it. Coroutine handles are dropped so pooled state does not
+// pin finished bodies; scratch maps are kept (cleared at next reuse).
+func putState(rs *runState, n int) {
+	for i := 0; i < n; i++ {
+		p := rs.procs[i]
+		p.next, p.stop, p.yield = nil, nil, nil
+	}
+	statePool.Put(rs)
 }
 
 // Proc is the handle a process body uses to interact with the simulation.
 // It implements memory.Context: every shared-memory operation calls Step,
-// which in controlled mode blocks until the adversary schedules the
-// process and always charges one step.
+// which in controlled mode parks the coroutine until the adversary
+// schedules the process and always charges one step.
 type Proc struct {
-	id    int
-	rng   *xrand.Rand
-	steps atomic.Int64
+	id         int
+	rng        xrand.Rand
+	controlled bool
+	exclusive  bool
 
-	// Controlled-mode fields; grant is nil in concurrent mode. A nil
-	// window on grant aborts the goroutine (the modeled execution ended
-	// with this process unfinished). baton is the window this process
-	// currently holds; it is released — handed to the next scheduled
-	// process — when the process next blocks or its body returns.
-	grant   chan *window
-	run     *runState
-	baton   *window
-	started bool
+	// steps is the controlled-mode step counter. It is written only
+	// inside the process's own coroutine and read by the driver, and
+	// every coroutine switch is a synchronization point, so it needs no
+	// atomicity. Concurrent mode uses concSteps instead.
+	steps     int64
+	concSteps atomic.Int64
+
+	// Controlled-mode coroutine hooks. yield parks the coroutine inside
+	// Step; next and stop are the driver's handles on it.
+	yield func(struct{}) bool
+	next  func() (struct{}, bool)
+	stop  func()
+
+	// scratch is the per-process scratch arena: reusable buffers keyed
+	// by shared object, handed out through the memory.Scratcher
+	// capability so hot-path Scans allocate only on first use.
+	scratch map[any]any
 }
 
 var _ memory.Context = (*Proc)(nil)
+var _ memory.Scratcher = (*Proc)(nil)
 
 // ID returns the process id in [0, n).
 func (p *Proc) ID() int { return p.id }
@@ -140,56 +171,62 @@ func (p *Proc) ID() int { return p.id }
 // Rng returns the process's private random stream. The stream derives
 // only from the algorithm seed, never from the schedule, so the adversary
 // is oblivious to it.
-func (p *Proc) Rng() *xrand.Rand { return p.rng }
+func (p *Proc) Rng() *xrand.Rand { return &p.rng }
 
 // Steps returns the number of shared-memory steps charged so far.
-func (p *Proc) Steps() int64 { return p.steps.Load() }
-
-// release hands the baton to the next undone entry of the window —
-// directly process-to-process, without waking the driver — or reports the
-// window complete. Entries whose process finished earlier in the window
-// are consumed here as uncharged no-op slots, per the model. Calling
-// release certifies that the holder's previous operation fully completed,
-// which is what makes the controlled execution deterministic rather than
-// merely linearizable.
-func (p *Proc) release() {
-	w := p.baton
-	if w == nil {
-		return
+func (p *Proc) Steps() int64 {
+	if p.controlled {
+		return p.steps
 	}
-	p.baton = nil
-	rs := p.run
-	j := w.j + 1
-	for j < len(w.entries) && rs.done[w.entries[j].pid] {
-		j++
-	}
-	if j == len(w.entries) {
-		rs.complete <- gateEvent{kind: evWindow}
-		return
-	}
-	w.j = j
-	rs.procs[w.entries[j].pid].grant <- w
+	return p.concSteps.Load()
 }
 
 // Step implements memory.Context.
 func (p *Proc) Step() {
-	if p.grant != nil {
-		if p.started {
-			p.release()
-		} else {
-			p.started = true
-			p.run.complete <- gateEvent{pid: int32(p.id), kind: evStarted}
-		}
-		w := <-p.grant
-		if w == nil {
+	if p.controlled {
+		if !p.yield(struct{}{}) {
 			// The modeled execution is over and this process will never
-			// be scheduled again; unwind the goroutine (deferred cleanup
-			// in the runner still runs).
-			runtime.Goexit()
+			// be scheduled again; unwind the coroutine (body defers run,
+			// and the sentinel is recovered at the coroutine boundary).
+			panic(procAborted{})
 		}
-		p.baton = w
+		p.steps++
+		return
 	}
-	p.steps.Add(1)
+	p.concSteps.Add(1)
+}
+
+// Exclusive implements memory.Context. It reports whether shared objects
+// may skip their mutexes for this process's operations: true only in
+// controlled mode (where the coroutine engine makes execution sequential
+// by construction) and while the exclusive substrate is enabled.
+func (p *Proc) Exclusive() bool { return p.exclusive }
+
+// ScratchMap implements memory.Scratcher, exposing the per-process
+// scratch arena shared objects use to reuse buffers across operations.
+func (p *Proc) ScratchMap() map[any]any {
+	if p.scratch == nil {
+		p.scratch = make(map[any]any)
+	}
+	return p.scratch
+}
+
+// procSeq wraps body as the coroutine sequence for p. The first resume
+// runs the body to its first Step; every later resume executes exactly
+// one operation. The procAborted sentinel is recovered here so stop()
+// returns cleanly to the driver.
+func procSeq(p *Proc, body Body) iter.Seq[struct{}] {
+	return func(yield func(struct{}) bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procAborted); !ok {
+					panic(r)
+				}
+			}
+		}()
+		p.yield = yield
+		body(p)
+	}
 }
 
 // Config parameterizes a run.
@@ -225,12 +262,10 @@ func Counters() (steps, slots int64) {
 
 // Cached metrics instruments; all nil (free no-ops) until a registry is
 // installed. The step-latency histogram records wall nanoseconds per
-// modeled step, amortized over each grant window: the driver times the
-// window's grant-to-complete interval and divides by the window's slot
-// count. For crash-aware sources (one-slot windows) the value is the
-// exact per-slot latency; for wide windows it is the per-slot average,
-// which costs only two clock reads per up-to-256-slot window and so
-// stays off the step hot path entirely.
+// modeled step, amortized over batches of up to meterBatch granted steps:
+// the driver times the batch and divides by its grant count, which costs
+// two clock reads per batch and so stays off the step hot path entirely.
+// The window histogram records the grant count of each timed batch.
 var (
 	mRuns       *metrics.Counter
 	mSteps      *metrics.Counter
@@ -307,66 +342,55 @@ type Body func(p *Proc)
 // (finite schedules), or the slot budget fires.
 func RunControlled(src sched.Source, body Body, cfg Config) (Result, error) {
 	n := src.N()
-	rs := &runState{
-		procs:    make([]*Proc, n),
-		done:     make([]bool, n),
-		complete: make(chan gateEvent, n),
-	}
-	rng := xrand.New(cfg.AlgSeed)
-	var wg sync.WaitGroup
+	rs := getState(n)
+	exclusive := !lockedSubstrate.Load()
+	var root xrand.Rand
+	root.Reseed(cfg.AlgSeed)
 	for i := 0; i < n; i++ {
-		rs.procs[i] = &Proc{
-			id:    i,
-			rng:   rng.ForkNamed(uint64(i)),
-			grant: make(chan *window, 1),
-			run:   rs,
+		p := rs.procs[i]
+		p.id = i
+		root.ForkNamedInto(uint64(i), &p.rng)
+		p.controlled = true
+		p.exclusive = exclusive
+		p.steps = 0
+		if p.scratch != nil {
+			clear(p.scratch)
 		}
+		p.next, p.stop = iter.Pull(procSeq(p, body))
 	}
-	for i := 0; i < n; i++ {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			p := rs.procs[i]
-			body(p)
-			if !p.started {
-				// Finished without a single shared-memory operation;
-				// report directly (the process never held the baton).
-				rs.complete <- gateEvent{pid: int32(i), kind: evDone}
-				return
+
+	// If a body panics, the panic propagates out of next() into drive and
+	// through here; reclaim the remaining parked coroutines but do not
+	// pool the (possibly inconsistent) state.
+	completed := false
+	defer func() {
+		if !completed {
+			for i := 0; i < n; i++ {
+				rs.procs[i].stop()
 			}
-			// Finishing while holding the baton: record completion, then
-			// pass the baton on. Neither blocks.
-			rs.done[i] = true
-			rs.doneCnt++
-			p.release()
-		}()
-	}
+		}
+	}()
 
 	res, err := drive(src, rs, cfg)
-	observeRun(res, true)
 
-	// Unblock any processes still blocked at Step so their goroutines
-	// exit: a nil grant makes Step call Goexit. Every unfinished process
-	// is parked at a grant receive once drive returns (the last window
-	// completed), so a single buffered send each suffices.
+	// Reclaim processes still parked at a Step: stop makes their pending
+	// yield return false, unwinding the coroutine through its defers.
 	for i := 0; i < n; i++ {
-		if !rs.done[i] {
-			rs.procs[i].grant <- nil
-		}
+		rs.procs[i].stop()
 	}
-	wg.Wait()
+	observeRun(res, true)
+	completed = true
+	putState(rs, n)
 	return res, err
 }
 
-// drive is the adversary loop. It pre-draws windows of schedule slots —
-// resolving uncharged no-op slots (finished or crashed processes) at draw
-// time, in bulk when the source supports sched.Skipper — grants each
-// window to the baton chain, and sleeps until the chain reports the
-// window complete.
+// drive is the adversary loop. It consumes schedule slots one at a time —
+// resolving uncharged no-op slots (finished or crashed processes) in bulk
+// when the source supports sched.Skipper — and resumes the scheduled
+// process's coroutine for exactly one operation per charged slot.
 func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 	procs := rs.procs
-	n := len(procs)
+	n := src.N()
 	maxSlots := cfg.MaxSlots
 	if maxSlots <= 0 {
 		maxSlots = defaultMaxSlots
@@ -376,12 +400,13 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 		err   error
 	)
 
-	// Startup barrier: wait until every process has either parked at its
-	// first Step or finished without one, so the first grant finds a
-	// quiescent system.
-	for seen := 0; seen < n; seen++ {
-		if ev := <-rs.complete; ev.kind == evDone {
-			rs.done[ev.pid] = true
+	// Prime every coroutine: run each body to its first Step (or to
+	// completion, for bodies that never take a step). Code before the
+	// first Step touches nothing shared — every shared-memory operation
+	// starts by stepping — so priming order is unobservable.
+	for pid := 0; pid < n; pid++ {
+		if _, ok := procs[pid].next(); !ok {
+			rs.done[pid] = true
 			rs.doneCnt++
 		}
 	}
@@ -405,14 +430,6 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 		return true
 	}
 
-	winCap := maxWindow
-	if ca != nil {
-		// Liveness can flip mid-window when a crash cutoff passes; a
-		// one-slot window makes the driver re-evaluate liveDone at every
-		// slot, exactly like a slot-at-a-time driver.
-		winCap = 1
-	}
-
 	skipper, _ := src.(sched.Skipper)
 	// skipPred accepts uncharged no-op slots, bounded to skipBatch per
 	// SkipWhile call. The bound matters for correctness, not just
@@ -432,74 +449,61 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 		return true
 	}
 
-	entries := make([]entry, 0, winCap)
-	for !liveDone() {
+	metered := mStepNanos != nil
+	var (
+		grants int64
+		t0     time.Time
+	)
+
+	for {
+		if liveDone() {
+			break
+		}
 		if slots >= maxSlots {
 			slots = maxSlots
 			err = fmt.Errorf("%w (budget %d)", ErrSlotBudget, maxSlots)
 			break
 		}
-		entries = entries[:0]
-		exhausted := false
-		for len(entries) < winCap && slots < maxSlots {
-			if skipper != nil {
-				batch = 0
-				slots += skipper.SkipWhile(skipPred)
-				if slots >= maxSlots {
-					if slots > maxSlots {
-						slots = maxSlots
-					}
-					break
-				}
-			}
-			pid := src.Next()
-			if pid == sched.Exhausted {
-				exhausted = true
-				break
-			}
-			slots++
-			if rs.done[pid] || !alive(pid) {
-				// Uncharged no-op slot, per the model. Crossing a crash
-				// cutoff can finish the run mid-draw (the last unfinished
-				// processes all died); without this check the draw loop
-				// would spin through no-op slots to the budget, since only
-				// live pids are emitted post-cutoff and all of them are
-				// done.
-				if ca != nil && liveDone() {
-					break
+		if skipper != nil {
+			batch = 0
+			slots += skipper.SkipWhile(skipPred)
+			if slots >= maxSlots {
+				if slots > maxSlots {
+					slots = maxSlots
 				}
 				continue
 			}
-			entries = append(entries, entry{pid: int32(pid), slotEnd: slots})
 		}
-		if len(entries) > 0 {
-			w := &rs.win
-			w.entries = entries
-			w.j = 0
-			var t0 time.Time
-			if mStepNanos != nil {
-				t0 = time.Now()
-			}
-			procs[entries[0].pid].grant <- w
-			<-rs.complete // evWindow: the chain ran the whole window
-			if mStepNanos != nil {
-				mWindowSize.Observe(int64(len(entries)))
-				mStepNanos.Observe(time.Since(t0).Nanoseconds() / int64(len(entries)))
-			}
-			if liveDone() {
-				// The run completed mid-window; trailing pre-drawn slots
-				// were never consumed by the model. Roll back to the slot
-				// of the last granted operation — where a slot-at-a-time
-				// driver stops.
-				slots = w.entries[w.j].slotEnd
-			}
-		}
-		if exhausted {
+		pid := src.Next()
+		if pid == sched.Exhausted {
 			if !liveDone() {
 				err = ErrScheduleExhausted
 			}
 			break
 		}
+		slots++
+		if rs.done[pid] || !alive(pid) {
+			// Uncharged no-op slot, per the model.
+			continue
+		}
+		if metered && grants == 0 {
+			t0 = time.Now()
+		}
+		if _, ok := procs[pid].next(); !ok {
+			rs.done[pid] = true
+			rs.doneCnt++
+		}
+		if metered {
+			if grants++; grants >= meterBatch {
+				mWindowSize.Observe(grants)
+				mStepNanos.Observe(time.Since(t0).Nanoseconds() / grants)
+				grants = 0
+			}
+		}
+	}
+	if metered && grants > 0 {
+		mWindowSize.Observe(grants)
+		mStepNanos.Observe(time.Since(t0).Nanoseconds() / grants)
 	}
 
 	res := Result{
@@ -508,7 +512,7 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 		Finished: make([]bool, n),
 	}
 	for pid := 0; pid < n; pid++ {
-		res.Steps[pid] = procs[pid].Steps()
+		res.Steps[pid] = procs[pid].steps
 		res.TotalSteps += res.Steps[pid]
 		res.Finished[pid] = rs.done[pid]
 	}
@@ -518,12 +522,15 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 // RunConcurrent executes n copies of body as free-running goroutines and
 // waits for all of them. The Go scheduler plays the adversary; since it
 // cannot observe the processes' private RNG streams, it is (heuristically)
-// a weak adversary in the paper's sense.
+// a weak adversary in the paper's sense. Concurrent Procs are never
+// pooled and never exclusive: the shared objects keep their mutexes.
 func RunConcurrent(n int, body Body, cfg Config) Result {
 	procs := make([]*Proc, n)
-	rng := xrand.New(cfg.AlgSeed)
+	var root xrand.Rand
+	root.Reseed(cfg.AlgSeed)
 	for i := 0; i < n; i++ {
-		procs[i] = &Proc{id: i, rng: rng.ForkNamed(uint64(i))}
+		procs[i] = &Proc{id: i}
+		root.ForkNamedInto(uint64(i), &procs[i].rng)
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {

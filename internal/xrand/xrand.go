@@ -28,6 +28,14 @@ type Rand struct {
 // New returns a generator deterministically seeded from seed.
 func New(seed uint64) *Rand {
 	var r Rand
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed reinitializes r in place exactly as New(seed) would, without
+// allocating. It exists so pooled simulator state can reuse Rand values
+// across runs.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm, r.s[i] = splitMix64(sm)
@@ -38,7 +46,6 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &r
 }
 
 // Fork returns a new generator whose stream is independent of the
@@ -53,6 +60,12 @@ func (r *Rand) Fork() *Rand {
 // yield reproducible children regardless of draw order elsewhere.
 func (r *Rand) ForkNamed(label uint64) *Rand {
 	return New(r.Uint64() ^ mix(label))
+}
+
+// ForkNamedInto seeds into with the same stream ForkNamed(label) would
+// return, reusing into's storage instead of allocating.
+func (r *Rand) ForkNamedInto(label uint64, into *Rand) {
+	into.Reseed(r.Uint64() ^ mix(label))
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
