@@ -99,8 +99,46 @@ func run(args []string, out io.Writer) error {
 		metricsTable  = fs.Bool("metrics", false, "print the metrics table after the run")
 		debugAddr     = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) while experiments run")
 	)
+	var ff faultFlags
+	fs.StringVar(&ff.spec, "fault", "", "run the fault-injection sweep over these fault kinds (comma-separated: all, stutter, stall, crash-recovery, atomic, regular, safe)")
+	fs.IntVar(&ff.trials, "fault-trials", 0, "trials per fault-matrix cell (0 = default)")
+	fs.IntVar(&ff.n, "fault-n", 0, "processes per faulted trial (0 = default 8)")
+	fs.StringVar(&ff.scheds, "fault-sched", "", "schedule kinds for the fault sweep, comma-separated (default: all kinds)")
+	fs.IntVar(&ff.stutter, "fault-stutter", 0, "max stutter/stall length and staleness depth per fault event (0 = default)")
+	fs.StringVar(&ff.jsonOut, "fault-json", "", "write a JSON fault-sweep report to this path")
+	fs.StringVar(&ff.repros, "fault-repros", "", "save shrunk counterexample artifacts under this directory")
+	fs.IntVar(&ff.shrink, "fault-shrink", 0, "shrink budget (replays per counterexample; 0 = default)")
+	fs.StringVar(&ff.replay, "fault-replay", "", "replay a saved counterexample artifact and confirm it still violates")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if ff.active() {
+		// Fault mode is its own run shape: validate the combination (and
+		// everything it conflicts with) before any trial executes.
+		if *benchBaseline != "" || *benchOut != "" {
+			return fmt.Errorf("fault flags cannot be combined with -bench-baseline/-bench-json: faulted runs measure safety, not throughput")
+		}
+		if *expID != "" || *all || *list {
+			return fmt.Errorf("fault flags cannot be combined with -experiment/-all/-list (the reduced fault matrix runs as experiment E17)")
+		}
+		if ff.replay != "" {
+			if ff.jsonOut != "" || ff.repros != "" {
+				return fmt.Errorf("-fault-replay cannot be combined with -fault-json/-fault-repros")
+			}
+			if _, _, _, err := ff.validate(); err != nil {
+				return err
+			}
+			return runFaultReplay(out, ff.replay)
+		}
+		if _, _, _, err := ff.validate(); err != nil {
+			return err
+		}
+		params := experiment.Params{Seed: *seed, Quick: *quick, Parallelism: *parallel}
+		if *trials != 0 && ff.trials == 0 {
+			ff.trials = *trials
+		}
+		return runFaultSweep(out, &ff, params)
 	}
 
 	// Validate the output format up front: a typo must not burn a full

@@ -1,9 +1,12 @@
 package conciliator_test
 
 import (
+	"bytes"
 	"testing"
 
 	conciliator "github.com/oblivious-consensus/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/fault"
+	"github.com/oblivious-consensus/conciliator/internal/memory"
 	"github.com/oblivious-consensus/conciliator/internal/sched"
 	"github.com/oblivious-consensus/conciliator/internal/sim"
 	"github.com/oblivious-consensus/conciliator/internal/trace"
@@ -182,6 +185,106 @@ func FuzzConciliatorLinear(f *testing.F) {
 			}
 			if v%10 != 0 || v < 0 || v >= n*10 {
 				t.Fatalf("validity violated: output %d", v)
+			}
+		}
+	})
+}
+
+// FuzzFaultScheduleReplay mirrors FuzzCrashScheduleReplay for the fault
+// substrate: arbitrary fault schedules — decoded from fuzzed bytes into
+// every event kind — must (a) round-trip through the JSON codec
+// byte-identically, (b) drive the simulator without panicking, and
+// (c) replay bit-identically, both from the in-memory schedule and from
+// its decoded serialization. This pins the determinism contract repro
+// artifacts depend on: a faulted run is a pure function of (algorithm
+// seed, schedule source, fault schedule).
+func FuzzFaultScheduleReplay(f *testing.F) {
+	f.Add(uint8(4), uint64(1), uint64(2), []byte{0, 0, 3, 0, 2})
+	f.Add(uint8(7), uint64(9), uint64(5), []byte{2, 1, 10, 0, 0, 3, 2, 1, 0, 4})
+	f.Add(uint8(2), uint64(3), uint64(8), []byte{4, 0, 2, 0, 3, 1, 1, 50, 0, 7})
+	f.Add(uint8(1), uint64(0), uint64(0), []byte{2, 0, 0, 0, 0, 2, 0, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, rawN uint8, algSeed, schedSeed uint64, raw []byte) {
+		n := int(rawN%8) + 1
+		var events []fault.Event
+		for i := 0; i+4 < len(raw) && len(events) < 24; i += 5 {
+			kind := fault.Kind(int(raw[i])%5 + 1)
+			ev := fault.Event{Kind: kind, Pid: int(raw[i+1]) % n}
+			clock := int64(raw[i+2]) | int64(raw[i+3])<<8
+			arg := int64(raw[i+4]%8) + 1
+			switch kind {
+			case fault.Stutter, fault.Stall:
+				ev.Slot, ev.Arg = clock, arg
+			case fault.CrashRecover:
+				ev.Slot = clock
+			case fault.StaleRead:
+				ev.Op, ev.Arg = clock%64, arg-1 // depth 0 = null read
+			case fault.StaleScan:
+				ev.Op, ev.Arg = clock%64, arg
+			}
+			events = append(events, ev)
+		}
+		s, err := fault.NewSchedule(n, events)
+		if err != nil {
+			t.Fatalf("constructed events rejected: %v", err)
+		}
+
+		d1, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := fault.Decode(d1)
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		d2, err := decoded.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(d1, d2) {
+			t.Fatalf("codec round trip not byte-identical:\n%s\nvs\n%s", d1, d2)
+		}
+
+		// The workload touches every faultable operation class: register
+		// read/write, snapshot update/scan, max-register read/write.
+		run := func(fs *fault.Schedule) sim.Result {
+			reg := memory.NewRegister[int]()
+			snap := memory.NewSnapshot[int](n)
+			maxr := memory.NewMaxRegister[int]()
+			src := sched.New(sched.KindRandom, n, schedSeed)
+			res, err := sim.RunControlled(src, func(p *sim.Proc) {
+				buf := make([]memory.Entry[int], n)
+				for i := 0; i < 6; i++ {
+					reg.Write(p, p.ID()*100+i)
+					reg.Read(p)
+					snap.Update(p, p.ID(), i)
+					snap.ScanInto(p, buf)
+					maxr.WriteMax(p, uint64(i*n+p.ID()+1), i)
+					maxr.ReadMax(p)
+				}
+			}, sim.Config{AlgSeed: algSeed, MaxSlots: 1 << 21, Faults: fs})
+			if err != nil {
+				t.Fatalf("faulted run: %v", err)
+			}
+			return res
+		}
+		first := run(s)
+		for name, again := range map[string]sim.Result{
+			"replay":         run(s),
+			"decoded replay": run(decoded),
+		} {
+			if first.TotalSteps != again.TotalSteps || first.Slots != again.Slots {
+				t.Fatalf("%s diverged: steps %d/%d, slots %d/%d", name,
+					first.TotalSteps, again.TotalSteps, first.Slots, again.Slots)
+			}
+			if first.Restarts != again.Restarts || first.Faults != again.Faults {
+				t.Fatalf("%s fault delivery diverged: restarts %d/%d, counts %+v vs %+v", name,
+					first.Restarts, again.Restarts, first.Faults, again.Faults)
+			}
+			for pid := range first.Steps {
+				if first.Steps[pid] != again.Steps[pid] || first.Finished[pid] != again.Finished[pid] {
+					t.Fatalf("%s process %d diverged: steps %d/%d finished %v/%v", name, pid,
+						first.Steps[pid], again.Steps[pid], first.Finished[pid], again.Finished[pid])
+				}
 			}
 		}
 	})

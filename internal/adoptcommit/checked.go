@@ -1,0 +1,53 @@
+package adoptcommit
+
+import "github.com/oblivious-consensus/conciliator/internal/memory"
+
+// Observation is one Propose event as seen by a Checked wrapper. Every
+// Propose is reported twice: once at entry (Completed=false) and once at
+// return (Completed=true). The entry report matters under
+// crash-recovery faults: an aborted Propose never returns, but its value
+// may already have reached the object's shared state — where it can
+// raise conflict flags or be adopted by others — so safety monitors must
+// count it among the phase's proposals. Out and Dec are meaningful only
+// when Completed is true.
+type Observation[V comparable] struct {
+	Pid       int
+	In        V
+	Completed bool
+	Out       V
+	Dec       Decision
+}
+
+// Checked wraps an adopt-commit object and reports every Propose to a
+// callback, so external safety monitors can validate coherence,
+// convergence, validity, and adopt-implies-conflict over the observed
+// history without touching the object's own step accounting. The
+// callback runs outside the wrapped object's operations and must not
+// perform shared-memory steps.
+type Checked[V comparable] struct {
+	inner  Object[V]
+	report func(Observation[V])
+}
+
+var _ Object[int] = (*Checked[int])(nil)
+
+// NewChecked wraps inner; report may be nil, making the wrapper
+// transparent.
+func NewChecked[V comparable](inner Object[V], report func(Observation[V])) *Checked[V] {
+	return &Checked[V]{inner: inner, report: report}
+}
+
+// Propose implements Object.
+func (c *Checked[V]) Propose(ctx memory.Context, pid int, v V) (Decision, V) {
+	if c.report != nil {
+		c.report(Observation[V]{Pid: pid, In: v})
+	}
+	dec, out := c.inner.Propose(ctx, pid, v)
+	if c.report != nil {
+		c.report(Observation[V]{Pid: pid, In: v, Completed: true, Out: out, Dec: dec})
+	}
+	return dec, out
+}
+
+// StepBound implements Object.
+func (c *Checked[V]) StepBound() int { return c.inner.StepBound() }

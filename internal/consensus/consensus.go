@@ -48,6 +48,11 @@ type Config[V comparable] struct {
 	// NewAdoptCommit builds the phase-i adopt-commit object.
 	NewAdoptCommit func(phase int) adoptcommit.Object[V]
 
+	// WrapAdoptCommit, when non-nil, wraps each phase's adopt-commit
+	// object as it is created — e.g. adoptcommit.NewChecked, so safety
+	// monitors observe every Propose without the protocol knowing.
+	WrapAdoptCommit func(phase int, ac adoptcommit.Object[V]) adoptcommit.Object[V]
+
 	// MaxPhases bounds the phase loop (0 = default 64). If the bound is
 	// hit — probability about 2^-MaxPhases — the process returns its
 	// current preference, preserving validity.
@@ -219,9 +224,13 @@ func (c *Protocol[V]) phase(i int) *phase[V] {
 	defer c.mu.Unlock()
 	for len(c.phases) <= i {
 		k := len(c.phases)
+		ac := c.cfg.NewAdoptCommit(k)
+		if c.cfg.WrapAdoptCommit != nil {
+			ac = c.cfg.WrapAdoptCommit(k, ac)
+		}
 		c.phases = append(c.phases, &phase[V]{
 			conc: c.cfg.NewConciliator(k),
-			ac:   c.cfg.NewAdoptCommit(k),
+			ac:   ac,
 		})
 	}
 	return c.phases[i]

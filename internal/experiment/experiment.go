@@ -101,6 +101,7 @@ func All() []Experiment {
 		e14Adversary(),
 		e15Substrate(),
 		e16EpsilonNecessity(),
+		e17FaultSweep(),
 	}
 }
 

@@ -29,6 +29,7 @@ func TestGoldenTables(t *testing.T) {
 		{id: "E6", parallel: 3},
 		{id: "E7", parallel: 2},
 		{id: "E8", parallel: 4},
+		{id: "E17", parallel: 5}, // fault sweep: faulted runs must replay byte-identically too
 	}
 	for _, tc := range cases {
 		tc := tc

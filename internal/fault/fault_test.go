@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Stutter, Stall, CrashRecover, StaleRead, StaleScan} {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Error("KindByName accepted bogus name")
+	}
+	for _, s := range []Semantics{SemAtomic, SemRegular, SemSafe} {
+		got, ok := SemanticsByName(s.String())
+		if !ok || got != s {
+			t.Errorf("SemanticsByName(%q) = %v, %v", s.String(), got, ok)
+		}
+	}
+	for _, p := range []ProcFault{ProcNone, ProcStutter, ProcStall, ProcCrashRecover} {
+		got, ok := ProcFaultByName(p.String())
+		if !ok || got != p {
+			t.Errorf("ProcFaultByName(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+}
+
+func TestScheduleNormalization(t *testing.T) {
+	// Events handed over in scrambled order come back sorted: slot-addressed
+	// first by (Slot, Pid, Kind, Arg), then op-addressed by (Pid, Op, Kind,
+	// Arg) — the orders Injector delivery depends on.
+	events := []Event{
+		{Kind: StaleRead, Pid: 1, Op: 9, Arg: 2},
+		{Kind: Stall, Pid: 0, Slot: 50, Arg: 3},
+		{Kind: StaleRead, Pid: 0, Op: 3, Arg: 1},
+		{Kind: Stutter, Pid: 2, Slot: 10, Arg: 4},
+		{Kind: CrashRecover, Pid: 1, Slot: 10},
+	}
+	s, err := NewSchedule(3, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Events()
+	wantOrder := []Kind{CrashRecover, Stutter, Stall, StaleRead, StaleRead}
+	for i, k := range wantOrder {
+		if got[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v (full: %+v)", i, got[i].Kind, k, got)
+		}
+	}
+	if got[0].Slot != 10 || got[1].Slot != 10 || got[2].Slot != 50 {
+		t.Errorf("slot-addressed events out of order: %+v", got[:3])
+	}
+	if got[3].Pid != 0 || got[4].Pid != 1 {
+		t.Errorf("op-addressed events out of pid order: %+v", got[3:])
+	}
+	// The input slice must not be aliased.
+	events[0].Arg = 99
+	if s.Events()[4].Arg == 99 {
+		t.Error("schedule aliases caller's event slice")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		ev   Event
+		want string
+	}{
+		{"unknown kind", Event{Kind: Kind(99), Pid: 0}, "kind"},
+		{"pid negative", Event{Kind: Stutter, Pid: -1, Arg: 1}, "pid"},
+		{"pid too large", Event{Kind: Stutter, Pid: 4, Arg: 1}, "pid"},
+		{"negative slot", Event{Kind: Stall, Pid: 0, Slot: -1, Arg: 1}, "slot"},
+		{"negative op", Event{Kind: StaleRead, Pid: 0, Op: -2}, "op"},
+		{"zero stutter", Event{Kind: Stutter, Pid: 0, Slot: 1}, "length"},
+		{"zero stall", Event{Kind: Stall, Pid: 0, Slot: 1}, "length"},
+		{"zero scan depth", Event{Kind: StaleScan, Pid: 0, Op: 1}, "depth"},
+		{"negative read depth", Event{Kind: StaleRead, Pid: 0, Op: 1, Arg: -1}, "arg"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSchedule(4, []Event{tt.ev})
+			if err == nil {
+				t.Fatalf("NewSchedule accepted %+v", tt.ev)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+	// A null-read event (depth 0) is legal for safe registers.
+	if _, err := NewSchedule(4, []Event{{Kind: StaleRead, Pid: 0, Op: 1, Arg: 0}}); err != nil {
+		t.Errorf("null-read event rejected: %v", err)
+	}
+}
+
+func TestScheduleCodecRoundTrip(t *testing.T) {
+	s, err := NewSchedule(4, []Event{
+		{Kind: Stutter, Pid: 1, Slot: 7, Arg: 3},
+		{Kind: CrashRecover, Pid: 2, Slot: 100},
+		{Kind: StaleRead, Pid: 0, Op: 5, Arg: 0},
+		{Kind: StaleScan, Pid: 3, Op: 2, Arg: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(SchemaFault)) {
+		t.Errorf("encoding lacks schema tag:\n%s", data)
+	}
+	s2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := s2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("re-encoding differs:\n%s\nvs\n%s", data, data2)
+	}
+	if s2.N() != 4 || s2.Len() != 4 {
+		t.Errorf("decoded n=%d len=%d", s2.N(), s2.Len())
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for name, data := range map[string]string{
+		"not json":     "}{",
+		"wrong schema": `{"schema":"conciliator-bench/v1","n":2}`,
+		"bad event":    `{"schema":"conciliator-fault/v1","n":2,"events":[{"kind":"stutter","pid":9,"arg":1}]}`,
+		"bad kind":     `{"schema":"conciliator-fault/v1","n":2,"events":[{"kind":"meteor","pid":0,"arg":1}]}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode([]byte(data)); err == nil {
+				t.Errorf("Decode accepted %s", data)
+			}
+		})
+	}
+}
+
+func TestPlanDeterministicAndAxes(t *testing.T) {
+	p := Plan{N: 6, Seed: 42, Semantics: SemSafe, Proc: ProcStutter}
+	a, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := a.Encode()
+	db, _ := b.Encode()
+	if !bytes.Equal(da, db) {
+		t.Error("same plan seed produced different schedules")
+	}
+	p.Seed = 43
+	c, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, _ := c.Encode()
+	if bytes.Equal(da, dc) {
+		t.Error("different plan seeds produced identical schedules")
+	}
+
+	// Axis contract: atomic+none injects nothing; atomic+stutter has only
+	// process faults; regular has depth-1 reads only; safe may go deeper.
+	empty, err := Plan{N: 4, Seed: 1}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("atomic+none plan generated %d events", empty.Len())
+	}
+	procOnly, err := Plan{N: 4, Seed: 1, Proc: ProcCrashRecover}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procOnly.Len() == 0 {
+		t.Error("crash-recovery plan generated no events")
+	}
+	for _, e := range procOnly.Events() {
+		if e.Kind != CrashRecover {
+			t.Errorf("atomic semantics generated semantic fault %+v", e)
+		}
+	}
+	regular, err := Plan{N: 4, Seed: 1, Semantics: SemRegular}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regular.Len() == 0 {
+		t.Error("regular plan generated no events")
+	}
+	for _, e := range regular.Events() {
+		switch e.Kind {
+		case StaleRead:
+			if e.Arg != 1 {
+				t.Errorf("regular semantics generated depth-%d read: %+v", e.Arg, e)
+			}
+		case StaleScan:
+			if e.Arg != 1 {
+				t.Errorf("regular semantics generated depth-%d scan: %+v", e.Arg, e)
+			}
+		default:
+			t.Errorf("semantics-only plan generated process fault %+v", e)
+		}
+	}
+}
+
+func TestPlanRejectsBadN(t *testing.T) {
+	if _, err := (Plan{N: 0, Seed: 1}).Generate(); err == nil {
+		t.Error("Plan with N=0 accepted")
+	}
+}

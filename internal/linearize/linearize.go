@@ -224,9 +224,50 @@ func Check(sem Semantics, history []Op) (bool, error) {
 // Recorder assigns logical timestamps and accumulates a history; safe
 // for concurrent use.
 type Recorder struct {
-	clock atomic.Int64
-	mu    sync.Mutex
-	ops   []Op
+	clock   atomic.Int64
+	mu      sync.Mutex
+	ops     []Op
+	limit   int
+	dropped int64
+}
+
+// SetLimit caps the retained history at k operations; operations
+// completing after the cap are counted in Dropped instead of retained.
+// A monitor recording an unbounded run can keep its history inside the
+// checker's 64-op window and fall back to cheaper online checks once the
+// window is full. Zero (the default) means unlimited.
+func (r *Recorder) SetLimit(k int) {
+	r.mu.Lock()
+	r.limit = k
+	r.mu.Unlock()
+}
+
+// Dropped reports how many completed operations the limit discarded.
+// A checker should only be run on the retained history when Dropped is
+// zero: a retained read may cite a write whose completion was dropped,
+// which the checker would misreport as a violation.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len reports the number of retained operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// append retains op unless the limit is reached; callers hold no locks.
+func (r *Recorder) append(op Op) {
+	r.mu.Lock()
+	if r.limit > 0 && len(r.ops) >= r.limit {
+		r.dropped++
+	} else {
+		r.ops = append(r.ops, op)
+	}
+	r.mu.Unlock()
 }
 
 // Begin returns a start timestamp; call it immediately before invoking
@@ -236,17 +277,13 @@ func (r *Recorder) Begin() int64 { return r.clock.Add(1) }
 // EndWrite records a completed write that started at start.
 func (r *Recorder) EndWrite(proc int, arg int64, start int64) {
 	end := r.clock.Add(1)
-	r.mu.Lock()
-	r.ops = append(r.ops, Op{Proc: proc, Kind: Write, Arg: arg, Start: start, End: end})
-	r.mu.Unlock()
+	r.append(Op{Proc: proc, Kind: Write, Arg: arg, Start: start, End: end})
 }
 
 // EndRead records a completed read that started at start.
 func (r *Recorder) EndRead(proc int, out int64, outOK bool, start int64) {
 	end := r.clock.Add(1)
-	r.mu.Lock()
-	r.ops = append(r.ops, Op{Proc: proc, Kind: Read, Out: out, OutOK: outOK, Start: start, End: end})
-	r.mu.Unlock()
+	r.append(Op{Proc: proc, Kind: Read, Out: out, OutOK: outOK, Start: start, End: end})
 }
 
 // History returns a copy of the recorded operations.

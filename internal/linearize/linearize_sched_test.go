@@ -1,8 +1,9 @@
-package linearize
+package linearize_test
 
 import (
 	"testing"
 
+	"github.com/oblivious-consensus/conciliator/internal/linearize"
 	"github.com/oblivious-consensus/conciliator/internal/memory"
 	"github.com/oblivious-consensus/conciliator/internal/sched"
 	"github.com/oblivious-consensus/conciliator/internal/sim"
@@ -28,12 +29,12 @@ func encodeView(view []memory.Entry[int64]) (packed int64, any bool) {
 			any = true
 		}
 	}
-	return EncodeSnapshotView(values, oks), any
+	return linearize.EncodeSnapshotView(values, oks), any
 }
 
 func TestSnapshotSemanticsHistories(t *testing.T) {
-	sem := SnapshotSemantics{Components: 3}
-	up := EncodeSnapshotUpdate
+	sem := linearize.SnapshotSemantics{Components: 3}
+	up := linearize.EncodeSnapshotUpdate
 	view := func(vals ...int64) int64 { // vals[i] < 0 means unset
 		values := make([]int64, len(vals))
 		oks := make([]bool, len(vals))
@@ -42,71 +43,71 @@ func TestSnapshotSemanticsHistories(t *testing.T) {
 				values[i], oks[i] = v, true
 			}
 		}
-		return EncodeSnapshotView(values, oks)
+		return linearize.EncodeSnapshotView(values, oks)
 	}
 	tests := []struct {
 		name string
-		hist []Op
+		hist []linearize.Op
 		want bool
 	}{
 		{
 			name: "scan sees both completed updates",
-			hist: []Op{
-				{Kind: Write, Arg: up(0, 5), Start: 1, End: 2},
-				{Kind: Write, Arg: up(1, 7), Start: 3, End: 4},
-				{Kind: Read, Out: view(5, 7, -1), OutOK: true, Start: 5, End: 6},
+			hist: []linearize.Op{
+				{Kind: linearize.Write, Arg: up(0, 5), Start: 1, End: 2},
+				{Kind: linearize.Write, Arg: up(1, 7), Start: 3, End: 4},
+				{Kind: linearize.Read, Out: view(5, 7, -1), OutOK: true, Start: 5, End: 6},
 			},
 			want: true,
 		},
 		{
 			name: "scan missing a completed update is not atomic",
-			hist: []Op{
-				{Kind: Write, Arg: up(0, 5), Start: 1, End: 2},
-				{Kind: Read, Out: view(-1, -1, -1), OutOK: false, Start: 3, End: 4},
+			hist: []linearize.Op{
+				{Kind: linearize.Write, Arg: up(0, 5), Start: 1, End: 2},
+				{Kind: linearize.Read, Out: view(-1, -1, -1), OutOK: false, Start: 3, End: 4},
 			},
 			want: false,
 		},
 		{
 			name: "concurrent update may or may not be seen",
-			hist: []Op{
-				{Kind: Write, Arg: up(0, 5), Start: 1, End: 2},
-				{Kind: Write, Arg: up(1, 7), Start: 3, End: 8},
-				{Kind: Read, Out: view(5, -1, -1), OutOK: true, Start: 4, End: 6},
+			hist: []linearize.Op{
+				{Kind: linearize.Write, Arg: up(0, 5), Start: 1, End: 2},
+				{Kind: linearize.Write, Arg: up(1, 7), Start: 3, End: 8},
+				{Kind: linearize.Read, Out: view(5, -1, -1), OutOK: true, Start: 4, End: 6},
 			},
 			want: true,
 		},
 		{
 			name: "two scans disagreeing on update order",
-			hist: []Op{
-				{Kind: Write, Arg: up(0, 5), Start: 1, End: 10},
-				{Kind: Write, Arg: up(1, 7), Start: 2, End: 9},
-				{Kind: Read, Out: view(5, -1, -1), OutOK: true, Start: 3, End: 4},
-				{Kind: Read, Out: view(-1, 7, -1), OutOK: true, Start: 5, End: 6},
+			hist: []linearize.Op{
+				{Kind: linearize.Write, Arg: up(0, 5), Start: 1, End: 10},
+				{Kind: linearize.Write, Arg: up(1, 7), Start: 2, End: 9},
+				{Kind: linearize.Read, Out: view(5, -1, -1), OutOK: true, Start: 3, End: 4},
+				{Kind: linearize.Read, Out: view(-1, 7, -1), OutOK: true, Start: 5, End: 6},
 			},
 			want: false,
 		},
 		{
 			name: "overwrite of one component",
-			hist: []Op{
-				{Kind: Write, Arg: up(0, 5), Start: 1, End: 2},
-				{Kind: Write, Arg: up(0, 9), Start: 3, End: 4},
-				{Kind: Read, Out: view(9, -1, -1), OutOK: true, Start: 5, End: 6},
+			hist: []linearize.Op{
+				{Kind: linearize.Write, Arg: up(0, 5), Start: 1, End: 2},
+				{Kind: linearize.Write, Arg: up(0, 9), Start: 3, End: 4},
+				{Kind: linearize.Read, Out: view(9, -1, -1), OutOK: true, Start: 5, End: 6},
 			},
 			want: true,
 		},
 		{
 			name: "stale component after overwrite",
-			hist: []Op{
-				{Kind: Write, Arg: up(0, 5), Start: 1, End: 2},
-				{Kind: Write, Arg: up(0, 9), Start: 3, End: 4},
-				{Kind: Read, Out: view(5, -1, -1), OutOK: true, Start: 5, End: 6},
+			hist: []linearize.Op{
+				{Kind: linearize.Write, Arg: up(0, 5), Start: 1, End: 2},
+				{Kind: linearize.Write, Arg: up(0, 9), Start: 3, End: 4},
+				{Kind: linearize.Read, Out: view(5, -1, -1), OutOK: true, Start: 5, End: 6},
 			},
 			want: false,
 		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			got, err := Check(sem, tt.hist)
+			got, err := linearize.Check(sem, tt.hist)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -146,9 +147,9 @@ func TestSnapshotLinearizableUnderSkewedSchedules(t *testing.T) {
 	for name, mk := range sources {
 		t.Run(name, func(t *testing.T) {
 			for trial := 0; trial < 10; trial++ {
-				rec := &Recorder{}
+				rec := &linearize.Recorder{}
 				snap := memory.NewSnapshot[int64](writers)
-				hist := func() []Op {
+				hist := func() []linearize.Op {
 					if _, err := sim.RunControlled(mk(trial), func(p *sim.Proc) {
 						rng := xrand.New(uint64(trial)*31 + uint64(p.ID()) + 1)
 						if p.ID() < writers {
@@ -156,7 +157,7 @@ func TestSnapshotLinearizableUnderSkewedSchedules(t *testing.T) {
 								v := int64(rng.Intn(200))
 								start := rec.Begin()
 								snap.Update(p, p.ID(), v)
-								rec.EndWrite(p.ID(), EncodeSnapshotUpdate(p.ID(), v), start)
+								rec.EndWrite(p.ID(), linearize.EncodeSnapshotUpdate(p.ID(), v), start)
 							}
 							return
 						}
@@ -170,7 +171,7 @@ func TestSnapshotLinearizableUnderSkewedSchedules(t *testing.T) {
 					}
 					return rec.History()
 				}()
-				ok, err := Check(SnapshotSemantics{Components: writers}, hist)
+				ok, err := linearize.Check(linearize.SnapshotSemantics{Components: writers}, hist)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -191,7 +192,7 @@ func TestMaxRegisterLinearizableUnderCrashSchedule(t *testing.T) {
 	const writers, readers = 3, 2
 	n := writers + readers
 	for trial := 0; trial < 10; trial++ {
-		rec := &Recorder{}
+		rec := &linearize.Recorder{}
 		m := memory.NewTreeMaxRegister[int64](8)
 		inner := sched.NewRandom(n, xrand.New(uint64(trial)*17+5))
 		src := sched.NewCrashSet(inner, []int{writers, writers + 1}, 20+trial, uint64(trial)+9)
@@ -215,7 +216,7 @@ func TestMaxRegisterLinearizableUnderCrashSchedule(t *testing.T) {
 			t.Fatal(err)
 		}
 		hist := rec.History()
-		ok, err := Check(MaxRegisterSemantics{}, hist)
+		ok, err := linearize.Check(linearize.MaxRegisterSemantics{}, hist)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -231,7 +232,7 @@ func TestSnapshotLinearizableUnderCrashSchedule(t *testing.T) {
 	const writers, scanners = 3, 2
 	n := writers + scanners
 	for trial := 0; trial < 10; trial++ {
-		rec := &Recorder{}
+		rec := &linearize.Recorder{}
 		snap := memory.NewSnapshot[int64](writers)
 		inner := sched.NewStaggered(n, 3, xrand.New(uint64(trial)*29+7))
 		src := sched.NewCrashSet(inner, []int{writers, writers + 1}, 12+trial, uint64(trial)+4)
@@ -242,7 +243,7 @@ func TestSnapshotLinearizableUnderCrashSchedule(t *testing.T) {
 					v := int64(rng.Intn(200))
 					start := rec.Begin()
 					snap.Update(p, p.ID(), v)
-					rec.EndWrite(p.ID(), EncodeSnapshotUpdate(p.ID(), v), start)
+					rec.EndWrite(p.ID(), linearize.EncodeSnapshotUpdate(p.ID(), v), start)
 				}
 				return
 			}
@@ -254,7 +255,7 @@ func TestSnapshotLinearizableUnderCrashSchedule(t *testing.T) {
 		}, sim.Config{AlgSeed: uint64(trial) + 6}); err != nil {
 			t.Fatal(err)
 		}
-		ok, err := Check(SnapshotSemantics{Components: writers}, rec.History())
+		ok, err := linearize.Check(linearize.SnapshotSemantics{Components: writers}, rec.History())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -35,19 +35,40 @@ func NewMaxRegister[T any]() *MaxRegister[T] {
 	return &MaxRegister[T]{}
 }
 
+// maxState is the post-write state of a MaxRegister as recorded in
+// fault histories, so a stale ReadMax can observe an earlier — possibly
+// smaller — maximum.
+type maxState[T any] struct {
+	key     uint64
+	payload T
+}
+
 // WriteMax implements Maxer.
 func (m *MaxRegister[T]) WriteMax(ctx Context, key uint64, payload T) {
 	ctx.Step()
+	armed := faultsArmed()
+	var after maxState[T]
 	if ctx.Exclusive() {
 		if !m.set || key > m.key {
 			m.key, m.payload, m.set = key, payload, true
+		}
+		if armed {
+			after = maxState[T]{key: m.key, payload: m.payload}
 		}
 	} else {
 		lockMeter(&m.mu, mMaxContend)
 		if !m.set || key > m.key {
 			m.key, m.payload, m.set = key, payload, true
 		}
+		if armed {
+			after = maxState[T]{key: m.key, payload: m.payload}
+		}
 		m.mu.Unlock()
+	}
+	if armed {
+		if f := asFaulter(ctx); f != nil {
+			f.FaultOnWrite(m, after)
+		}
 	}
 	m.ops.inc()
 	mMaxWrite.Inc()
@@ -56,6 +77,20 @@ func (m *MaxRegister[T]) WriteMax(ctx Context, key uint64, payload T) {
 // ReadMax implements Maxer.
 func (m *MaxRegister[T]) ReadMax(ctx Context) (uint64, T, bool) {
 	ctx.Step()
+	if faultsArmed() {
+		if f := asFaulter(ctx); f != nil {
+			if stale, hit := f.FaultOnRead(m); hit {
+				m.ops.inc()
+				mMaxRead.Inc()
+				if stale == nil {
+					var zero T
+					return 0, zero, false
+				}
+				st := stale.(maxState[T])
+				return st.key, st.payload, true
+			}
+		}
+	}
 	var (
 		k  uint64
 		p  T

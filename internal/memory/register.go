@@ -33,6 +33,11 @@ func (r *Register[T]) Write(ctx Context, v T) {
 		r.set = true
 		r.mu.Unlock()
 	}
+	if faultsArmed() {
+		if f := asFaulter(ctx); f != nil {
+			f.FaultOnWrite(r, v)
+		}
+	}
 	r.ops.inc()
 	mRegWrite.Inc()
 }
@@ -41,6 +46,19 @@ func (r *Register[T]) Write(ctx Context, v T) {
 // ever been written, charging one step.
 func (r *Register[T]) Read(ctx Context) (T, bool) {
 	ctx.Step()
+	if faultsArmed() {
+		if f := asFaulter(ctx); f != nil {
+			if stale, hit := f.FaultOnRead(r); hit {
+				r.ops.inc()
+				mRegRead.Inc()
+				if stale == nil {
+					var zero T
+					return zero, false
+				}
+				return stale.(T), true
+			}
+		}
+	}
 	var (
 		v  T
 		ok bool
@@ -76,6 +94,11 @@ func (r *Register[T]) CompareEmptyAndWrite(ctx Context, v T) (T, bool) {
 	}
 	if !excl {
 		r.mu.Unlock()
+	}
+	if installed && faultsArmed() {
+		if f := asFaulter(ctx); f != nil {
+			f.FaultOnWrite(r, v)
+		}
 	}
 	r.ops.inc()
 	if installed {

@@ -41,6 +41,11 @@ func (s *Snapshot[T]) Update(ctx Context, i int, v T) {
 		s.vals[i] = Entry[T]{Value: v, OK: true}
 		s.mu.Unlock()
 	}
+	if faultsArmed() {
+		if f := asFaulter(ctx); f != nil {
+			f.FaultOnWrite(ComponentKey{Obj: s, I: i}, v)
+		}
+	}
 	s.ops.inc()
 	mSnapUpdate.Inc()
 }
@@ -66,6 +71,21 @@ func (s *Snapshot[T]) ScanInto(ctx Context, buf []Entry[T]) []Entry[T] {
 		lockMeter(&s.mu, mSnapCont)
 		copy(buf, s.vals)
 		s.mu.Unlock()
+	}
+	if faultsArmed() {
+		if f := asFaulter(ctx); f != nil {
+			if d := f.FaultScanDepth(s); d > 0 {
+				// Bounded-staleness scan: every component observes the
+				// state d updates back instead of the atomic copy.
+				for i := range buf {
+					if v, ok := f.FaultStaleAt(ComponentKey{Obj: s, I: i}, d); ok {
+						buf[i] = Entry[T]{Value: v.(T), OK: true}
+					} else {
+						buf[i] = Entry[T]{}
+					}
+				}
+			}
+		}
 	}
 	s.ops.inc()
 	mSnapScan.Inc()

@@ -138,6 +138,17 @@ func (k Kind) String() string {
 	}
 }
 
+// KindByName parses a Kind from its String form, for flag values and
+// replay artifacts.
+func KindByName(name string) (Kind, bool) {
+	for _, k := range Kinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // New builds a Source of the given family for n processes, deterministic
 // in seed. The adversary seed must be independent of the algorithm seed to
 // model an oblivious adversary; keeping the two in separate xrand streams

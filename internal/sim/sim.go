@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/oblivious-consensus/conciliator/internal/fault"
 	"github.com/oblivious-consensus/conciliator/internal/memory"
 	"github.com/oblivious-consensus/conciliator/internal/metrics"
 	"github.com/oblivious-consensus/conciliator/internal/sched"
@@ -129,6 +130,7 @@ func putState(rs *runState, n int) {
 	for i := 0; i < n; i++ {
 		p := rs.procs[i]
 		p.next, p.stop, p.yield = nil, nil, nil
+		p.inj = nil
 	}
 	statePool.Put(rs)
 }
@@ -142,6 +144,14 @@ type Proc struct {
 	rng        xrand.Rand
 	controlled bool
 	exclusive  bool
+
+	// inj is the run's fault injector, nil for unfaulted runs. Proc
+	// delegates the memory.Faulter capability to it, adding the pid.
+	inj *fault.Injector
+
+	// incarnation counts crash-recovery restarts of this process within
+	// the current run; it decorrelates the RNG stream of each rebirth.
+	incarnation uint32
 
 	// steps is the controlled-mode step counter. It is written only
 	// inside the process's own coroutine and read by the driver, and
@@ -164,6 +174,7 @@ type Proc struct {
 
 var _ memory.Context = (*Proc)(nil)
 var _ memory.Scratcher = (*Proc)(nil)
+var _ memory.Faulter = (*Proc)(nil)
 
 // ID returns the process id in [0, n).
 func (p *Proc) ID() int { return p.id }
@@ -211,6 +222,27 @@ func (p *Proc) ScratchMap() map[any]any {
 	return p.scratch
 }
 
+// memory.Faulter delegation: the memory substrate consults these on
+// every operation while faults are armed process-wide; Proc adds its pid
+// and forwards to the run's injector. FaultActive is the per-run gate —
+// false for every unfaulted run, so a faulted run elsewhere in the
+// process does not perturb this one.
+
+// FaultActive implements memory.Faulter.
+func (p *Proc) FaultActive() bool { return p.inj != nil }
+
+// FaultOnWrite implements memory.Faulter.
+func (p *Proc) FaultOnWrite(key any, v any) { p.inj.OnWrite(key, v) }
+
+// FaultOnRead implements memory.Faulter.
+func (p *Proc) FaultOnRead(key any) (any, bool) { return p.inj.ReadFault(p.id, key) }
+
+// FaultScanDepth implements memory.Faulter.
+func (p *Proc) FaultScanDepth(obj any) int { return p.inj.ScanDepth(p.id, obj) }
+
+// FaultStaleAt implements memory.Faulter.
+func (p *Proc) FaultStaleAt(key any, depth int) (any, bool) { return p.inj.StaleAt(key, depth) }
+
 // procSeq wraps body as the coroutine sequence for p. The first resume
 // runs the body to its first Step; every later resume executes exactly
 // one operation. The procAborted sentinel is recovered here so stop()
@@ -239,6 +271,13 @@ type Config struct {
 	// mode; exceeding it aborts the run with ErrSlotBudget. Zero means
 	// the default of 1 << 26.
 	MaxSlots int64
+
+	// Faults is an optional fault schedule (see internal/fault). Non-nil
+	// schedules are interpreted by controlled runs only: weakened
+	// register semantics, stutters, stalls, and crash-recovery restarts
+	// fire at the deterministic clocks the schedule names. Concurrent
+	// runs ignore it.
+	Faults *fault.Schedule
 }
 
 const defaultMaxSlots = 1 << 26
@@ -318,8 +357,15 @@ type Result struct {
 	// no-op slots for finished processes (controlled mode only).
 	Slots int64
 	// Finished[i] reports whether process i ran to completion. Processes
-	// crashed by the schedule never finish.
+	// crashed by the schedule never finish. A process restarted by a
+	// crash-recovery fault reports its final incarnation's outcome.
 	Finished []bool
+	// Restarts is the number of crash-recovery restarts delivered
+	// (faulted controlled runs only).
+	Restarts int64
+	// Faults counts the faults actually delivered during the run
+	// (faulted controlled runs only).
+	Faults fault.Counts
 }
 
 // MaxSteps returns the maximum per-process step count (the individual
@@ -342,6 +388,16 @@ type Body func(p *Proc)
 // (finite schedules), or the slot budget fires.
 func RunControlled(src sched.Source, body Body, cfg Config) (Result, error) {
 	n := src.N()
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		var err error
+		inj, err = fault.NewInjector(cfg.Faults, n)
+		if err != nil {
+			return Result{}, err
+		}
+		memory.ArmFaults()
+		defer memory.DisarmFaults()
+	}
 	rs := getState(n)
 	exclusive := !lockedSubstrate.Load()
 	var root xrand.Rand
@@ -353,6 +409,8 @@ func RunControlled(src sched.Source, body Body, cfg Config) (Result, error) {
 		p.controlled = true
 		p.exclusive = exclusive
 		p.steps = 0
+		p.inj = inj
+		p.incarnation = 0
 		if p.scratch != nil {
 			clear(p.scratch)
 		}
@@ -371,7 +429,7 @@ func RunControlled(src sched.Source, body Body, cfg Config) (Result, error) {
 		}
 	}()
 
-	res, err := drive(src, rs, cfg)
+	res, err := drive(src, rs, cfg, body, inj)
 
 	// Reclaim processes still parked at a Step: stop makes their pending
 	// yield return false, unwinding the coroutine through its defers.
@@ -384,11 +442,42 @@ func RunControlled(src sched.Source, body Body, cfg Config) (Result, error) {
 	return res, err
 }
 
+// restartProc delivers a crash-recovery fault to pid: the current
+// incarnation's coroutine is unwound (amnesia — all local state is
+// lost), and the body restarts from the top with a fresh private RNG
+// stream decorrelated by the incarnation count. Shared writes persist,
+// cumulative step counts persist; a process that had finished becomes
+// unfinished until its new incarnation completes.
+func restartProc(rs *runState, pid int, body Body, algSeed uint64) {
+	p := rs.procs[pid]
+	p.stop()
+	p.incarnation++
+	var root xrand.Rand
+	root.Reseed(algSeed)
+	root.ForkNamedInto(uint64(pid)|uint64(p.incarnation)<<32, &p.rng)
+	if p.scratch != nil {
+		clear(p.scratch)
+	}
+	p.next, p.stop = iter.Pull(procSeq(p, body))
+	if _, ok := p.next(); !ok {
+		// The reborn body finished without taking a step.
+		if !rs.done[pid] {
+			rs.done[pid] = true
+			rs.doneCnt++
+		}
+		return
+	}
+	if rs.done[pid] {
+		rs.done[pid] = false
+		rs.doneCnt--
+	}
+}
+
 // drive is the adversary loop. It consumes schedule slots one at a time —
 // resolving uncharged no-op slots (finished or crashed processes) in bulk
 // when the source supports sched.Skipper — and resumes the scheduled
 // process's coroutine for exactly one operation per charged slot.
-func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
+func drive(src sched.Source, rs *runState, cfg Config, body Body, inj *fault.Injector) (Result, error) {
 	procs := rs.procs
 	n := src.N()
 	maxSlots := cfg.MaxSlots
@@ -431,6 +520,12 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 	}
 
 	skipper, _ := src.(sched.Skipper)
+	if inj != nil {
+		// Slot-addressed fault events must observe every slot index, so
+		// bulk no-op skipping is off for faulted runs (the same trade
+		// trace.RecordingSource makes to see every slot).
+		skipper = nil
+	}
 	// skipPred accepts uncharged no-op slots, bounded to skipBatch per
 	// SkipWhile call. The bound matters for correctness, not just
 	// fairness: a crash cutoff can pass in the middle of a skipped run,
@@ -456,6 +551,23 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 	)
 
 	for {
+		if inj != nil {
+			// Deliver process faults due at the current slot clock.
+			// Restarts run before the liveDone check because a reborn
+			// process can un-finish the run.
+			inj.Advance(slots)
+			for {
+				pid, ok := inj.TakeRestart()
+				if !ok {
+					break
+				}
+				if alive(pid) {
+					// Schedule-level crashes are permanent: a pid the
+					// adversary crashed does not recover.
+					restartProc(rs, pid, body, cfg.AlgSeed)
+				}
+			}
+		}
 		if liveDone() {
 			break
 		}
@@ -484,6 +596,11 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 		slots++
 		if rs.done[pid] || !alive(pid) {
 			// Uncharged no-op slot, per the model.
+			continue
+		}
+		if inj != nil && inj.Wasted(pid, slots-1) {
+			// A stutter or stall consumes the slot without running the
+			// process: the schedule advances, no step is charged.
 			continue
 		}
 		if metered && grants == 0 {
@@ -515,6 +632,10 @@ func drive(src sched.Source, rs *runState, cfg Config) (Result, error) {
 		res.Steps[pid] = procs[pid].steps
 		res.TotalSteps += res.Steps[pid]
 		res.Finished[pid] = rs.done[pid]
+	}
+	if inj != nil {
+		res.Faults = inj.Counts()
+		res.Restarts = res.Faults.Restarts
 	}
 	return res, err
 }

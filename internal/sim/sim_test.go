@@ -143,8 +143,8 @@ type noSkipCrashSource struct {
 	ca  sched.CrashAware
 }
 
-func (s noSkipCrashSource) N() int            { return s.src.N() }
-func (s noSkipCrashSource) Next() int         { return s.src.Next() }
+func (s noSkipCrashSource) N() int             { return s.src.N() }
+func (s noSkipCrashSource) Next() int          { return s.src.Next() }
 func (s noSkipCrashSource) Alive(pid int) bool { return s.ca.Alive(pid) }
 
 func TestCrashTailEndsRunAtCutoff(t *testing.T) {

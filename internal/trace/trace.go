@@ -84,6 +84,20 @@ func (r *RecordingSource) Slots() []int {
 	return out
 }
 
+// DeadSlots returns a copy of the recorded death slots (the slot count
+// after which each process was first observed dead; -1 = never died),
+// or nil when the inner source is not crash-aware. Together with Slots
+// and N this is everything needed to rebuild the replay externally via
+// NewReplay.
+func (r *RecordingSource) DeadSlots() []int {
+	if r.deadAt == nil {
+		return nil
+	}
+	out := make([]int, len(r.deadAt))
+	copy(out, r.deadAt)
+	return out
+}
+
 // Replay returns a schedule source reproducing the recorded run. When the
 // recording came from a crash-aware source the result is crash-aware too,
 // reporting each process dead from the recorded slot onward — without
@@ -107,6 +121,50 @@ type ReplaySource struct {
 	slots  []int
 	pos    int
 	deadAt []int // first-observed-dead slot count per pid; -1 = never died
+}
+
+// NewReplay reconstructs a ReplaySource from externally stored recording
+// data (the Slots/DeadSlots of a RecordingSource, typically round-tripped
+// through a file). Unlike RecordingSource.Replay, whose inputs are
+// internally consistent by construction, stored recordings can be
+// hand-edited or truncated — so everything is validated here, returning a
+// descriptive error instead of letting the simulator driver index out of
+// range mid-run. deadAt may be nil for a crash-free recording; otherwise
+// it must hold one entry per process, each -1 (never died) or a slot
+// count within the recording.
+func NewReplay(n int, slots, deadAt []int) (*ReplaySource, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: replay needs a positive process count, got %d", n)
+	}
+	for i, pid := range slots {
+		if pid < 0 || pid >= n {
+			return nil, fmt.Errorf("trace: replay slot %d grants pid %d, want [0,%d)", i, pid, n)
+		}
+	}
+	slotsCopy := make([]int, len(slots))
+	copy(slotsCopy, slots)
+	var deadCopy []int
+	if deadAt != nil {
+		if len(deadAt) != n {
+			return nil, fmt.Errorf("trace: replay has %d death slots for %d processes", len(deadAt), n)
+		}
+		deadCopy = make([]int, n)
+		for pid, d := range deadAt {
+			switch {
+			case d < -1:
+				return nil, fmt.Errorf("trace: process %d has invalid death slot %d (want -1 or >= 0)", pid, d)
+			case d > len(slots):
+				return nil, fmt.Errorf("trace: process %d dies after slot %d but the recording holds only %d slots (truncated?)", pid, d, len(slots))
+			}
+			deadCopy[pid] = d
+		}
+	} else {
+		deadCopy = make([]int, n)
+		for pid := range deadCopy {
+			deadCopy[pid] = -1
+		}
+	}
+	return &ReplaySource{n: n, slots: slotsCopy, deadAt: deadCopy}, nil
 }
 
 var (

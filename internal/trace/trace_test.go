@@ -202,3 +202,98 @@ func TestReplayWithoutCrashesIsPlainExplicit(t *testing.T) {
 		t.Fatal("crash-free replay must not be crash-aware")
 	}
 }
+
+func TestNewReplayValidates(t *testing.T) {
+	// A stored recording can be hand-edited or truncated; NewReplay must
+	// reject every malformed shape with a descriptive error rather than
+	// handing the simulator a source that indexes out of range mid-run.
+	tests := []struct {
+		name   string
+		n      int
+		slots  []int
+		deadAt []int
+		want   string
+	}{
+		{"zero processes", 0, nil, nil, "process count"},
+		{"pid out of range", 2, []int{0, 1, 2}, nil, "pid 2"},
+		{"negative pid", 2, []int{0, -1}, nil, "pid -1"},
+		{"death slots length", 2, []int{0, 1}, []int{-1}, "death slots"},
+		{"invalid death slot", 2, []int{0, 1}, []int{-5, -1}, "invalid death slot"},
+		{"death past recording", 2, []int{0, 1}, []int{3, -1}, "truncated"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewReplay(tt.n, tt.slots, tt.deadAt)
+			if err == nil {
+				t.Fatal("malformed recording accepted")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewReplayTruncatedRecording(t *testing.T) {
+	// Record a real crash run, externalize it, then hand-truncate the slot
+	// list below a recorded death: rebuilding the replay must fail with a
+	// descriptive error, and the untruncated data must rebuild a source
+	// that reproduces the original run exactly.
+	n := 4
+	rec := Record(sched.NewCrashSet(sched.NewRandom(n, xrand.New(7)), []int{1, 2}, 10, 8))
+	body := func(p *sim.Proc) int64 {
+		for i := 0; i < 12; i++ {
+			p.Step()
+		}
+		return p.Steps()
+	}
+	_, _, res, err := sim.Collect(rec, sim.Config{AlgSeed: 3}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, deadAt := rec.Slots(), rec.DeadSlots()
+	if deadAt == nil {
+		t.Fatal("crash-aware recording has no death slots")
+	}
+	maxDead := -1
+	for _, d := range deadAt {
+		if d > maxDead {
+			maxDead = d
+		}
+	}
+	if maxDead < 1 {
+		t.Fatalf("no recorded death to truncate below: %v", deadAt)
+	}
+
+	if _, err := NewReplay(n, slots[:maxDead-1], deadAt); err == nil {
+		t.Fatal("truncated recording accepted")
+	} else if !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncation error not descriptive: %v", err)
+	}
+
+	src, err := NewReplay(n, slots, deadAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, replayed, err := sim.Collect(src, sim.Config{AlgSeed: 3}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.TotalSteps != res.TotalSteps {
+		t.Errorf("replay steps = %d, recorded %d", replayed.TotalSteps, res.TotalSteps)
+	}
+	for pid := range res.Finished {
+		if res.Finished[pid] != replayed.Finished[pid] {
+			t.Errorf("process %d finished: %v vs %v", pid, res.Finished[pid], replayed.Finished[pid])
+		}
+	}
+
+	// DeadSlots must be a copy, and nil for a crash-free recording.
+	deadAt[0] = 99
+	if rec.DeadSlots()[0] == 99 {
+		t.Error("DeadSlots aliases internal state")
+	}
+	if Record(sched.NewRoundRobin(2)).DeadSlots() != nil {
+		t.Error("crash-free recording reports death slots")
+	}
+}
