@@ -84,20 +84,22 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("consensusbench", flag.ContinueOnError)
 	var (
-		list          = fs.Bool("list", false, "list experiments and exit")
-		expID         = fs.String("experiment", "", "experiment id(s) to run, comma-separated (E1..E16)")
-		all           = fs.Bool("all", false, "run every experiment")
-		trials        = fs.Int("trials", 0, "trials per configuration (0 = per-experiment default)")
-		seed          = fs.Uint64("seed", 0, "master seed (0 = default)")
-		quick         = fs.Bool("quick", false, "small sweeps for a fast smoke run")
-		format        = fs.String("format", "text", "output format: text, markdown, or tsv")
-		timings       = fs.Bool("timings", false, "print wall-clock time per experiment")
-		parallel      = fs.Int("parallel", 0, "trial workers per experiment (0 = NumCPU); results are identical for any value")
-		benchOut      = fs.String("bench-json", "", "write a JSON perf record (steps/sec, slots/sec, wall time per experiment) to this path")
-		benchBaseline = fs.String("bench-baseline", "", "compare this run's controlled-steps entries against a committed bench record; exit nonzero on a >10% steps/s regression")
-		metricsOut    = fs.String("metrics-json", "", "write a JSON metrics record (per-object op counts, phase step attribution, histograms) to this path")
-		metricsTable  = fs.Bool("metrics", false, "print the metrics table after the run")
-		debugAddr     = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) while experiments run")
+		list              = fs.Bool("list", false, "list experiments and exit")
+		expID             = fs.String("experiment", "", "experiment id(s) to run, comma-separated (E1..E16)")
+		all               = fs.Bool("all", false, "run every experiment")
+		trials            = fs.Int("trials", 0, "trials per configuration (0 = per-experiment default)")
+		seed              = fs.Uint64("seed", 0, "master seed (0 = default)")
+		quick             = fs.Bool("quick", false, "small sweeps for a fast smoke run")
+		format            = fs.String("format", "text", "output format: text, markdown, or tsv")
+		timings           = fs.Bool("timings", false, "print wall-clock time per experiment")
+		parallel          = fs.Int("parallel", 0, "trial workers per experiment (0 = NumCPU); results are identical for any value")
+		benchOut          = fs.String("bench-json", "", "write a JSON perf record (steps/sec, slots/sec, wall time per experiment) to this path")
+		benchBaseline     = fs.String("bench-baseline", "", "compare this run's controlled-steps entries against a committed bench record; exit nonzero on a >10% steps/s regression")
+		benchConcOut      = fs.String("bench-concurrent-json", "", "run the concurrent-substrate sweep (lock-free vs locked, real goroutines) and write its JSON record to this path")
+		benchConcBaseline = fs.String("bench-concurrent-baseline", "", "compare the concurrent sweep's entries against a committed record; exit nonzero on a >10% steps/s regression")
+		metricsOut        = fs.String("metrics-json", "", "write a JSON metrics record (per-object op counts, phase step attribution, histograms) to this path")
+		metricsTable      = fs.Bool("metrics", false, "print the metrics table after the run")
+		debugAddr         = fs.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060) while experiments run")
 	)
 	var ff faultFlags
 	fs.StringVar(&ff.spec, "fault", "", "run the fault-injection sweep over these fault kinds (comma-separated: all, stutter, stall, crash-recovery, atomic, regular, safe)")
@@ -116,8 +118,8 @@ func run(args []string, out io.Writer) error {
 	if ff.active() {
 		// Fault mode is its own run shape: validate the combination (and
 		// everything it conflicts with) before any trial executes.
-		if *benchBaseline != "" || *benchOut != "" {
-			return fmt.Errorf("fault flags cannot be combined with -bench-baseline/-bench-json: faulted runs measure safety, not throughput")
+		if *benchBaseline != "" || *benchOut != "" || *benchConcOut != "" || *benchConcBaseline != "" {
+			return fmt.Errorf("fault flags cannot be combined with -bench-baseline/-bench-json/-bench-concurrent-json/-bench-concurrent-baseline: faulted runs measure safety, not throughput")
 		}
 		if *expID != "" || *all || *list {
 			return fmt.Errorf("fault flags cannot be combined with -experiment/-all/-list (the reduced fault matrix runs as experiment E17)")
@@ -176,7 +178,11 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("no experiment ids in %q", *expID)
 		}
 	default:
-		return fmt.Errorf("nothing to do: pass -experiment <id>, -all, or -list")
+		// The concurrent sweep can run standalone: it measures the
+		// substrate, not any experiment.
+		if *benchConcOut == "" && *benchConcBaseline == "" {
+			return fmt.Errorf("nothing to do: pass -experiment <id>, -all, -list, or -bench-concurrent-json")
+		}
 	}
 
 	// Any observability output needs a live registry. A fresh one per run
@@ -280,8 +286,26 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *benchBaseline != "" {
-		if err := compareBaseline(out, rec, *benchBaseline); err != nil {
+		if err := compareBaseline(out, rec.Experiments, *benchBaseline, "controlled-steps/"); err != nil {
 			return err
+		}
+	}
+	if *benchConcOut != "" || *benchConcBaseline != "" {
+		crec := buildConcurrentRecord(out)
+		if *benchConcOut != "" {
+			data, err := json.MarshalIndent(crec, "", "  ")
+			if err != nil {
+				return fmt.Errorf("encoding concurrent bench record: %w", err)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*benchConcOut, data, 0o644); err != nil {
+				return fmt.Errorf("writing concurrent bench record: %w", err)
+			}
+		}
+		if *benchConcBaseline != "" {
+			if err := compareBaseline(out, crec.Experiments, *benchConcBaseline, "concurrent-steps/"); err != nil {
+				return err
+			}
 		}
 	}
 	if wantMetrics {
@@ -388,12 +412,13 @@ func controlledStepsEntries() []benchEntry {
 // workload's steps/s may fall before compareBaseline fails the run.
 const regressionTolerance = 0.9
 
-// compareBaseline checks this run's controlled-steps entries against the
-// committed record at path, printing one line per workload and returning
-// an error if any workload regressed by more than 10% steps/s. Workloads
-// absent from the baseline are reported and skipped, so new workloads can
-// be introduced before the baseline is refreshed.
-func compareBaseline(out io.Writer, rec benchRecord, path string) error {
+// compareBaseline checks this run's entries under the given id prefix
+// ("controlled-steps/" or "concurrent-steps/") against the committed
+// record at path, printing one line per workload and returning an error
+// if any workload regressed by more than 10% steps/s. Workloads absent
+// from the baseline are reported and skipped, so new workloads can be
+// introduced before the baseline is refreshed.
+func compareBaseline(out io.Writer, entries []benchEntry, path, prefix string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("reading bench baseline: %w", err)
@@ -408,8 +433,8 @@ func compareBaseline(out io.Writer, rec benchRecord, path string) error {
 	}
 	var failures []string
 	compared := 0
-	for _, e := range rec.Experiments {
-		if !strings.HasPrefix(e.ID, "controlled-steps/") {
+	for _, e := range entries {
+		if !strings.HasPrefix(e.ID, prefix) {
 			continue
 		}
 		b, ok := baseline[e.ID]
@@ -426,7 +451,7 @@ func compareBaseline(out io.Writer, rec benchRecord, path string) error {
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("bench-baseline: %s has no controlled-steps entries to compare against", path)
+		return fmt.Errorf("bench-baseline: %s has no %s entries to compare against", path, strings.TrimSuffix(prefix, "/"))
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench-baseline: steps/s regressed more than %d%%: %s",

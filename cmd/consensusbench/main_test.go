@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -379,5 +380,107 @@ func TestBenchBaselineWithoutControlledEntries(t *testing.T) {
 	err := run([]string{"-experiment", "E3", "-quick", "-bench-baseline", stale}, &b)
 	if err == nil || !strings.Contains(err.Error(), "no controlled-steps entries") {
 		t.Fatalf("expected no-entries error, got: %v", err)
+	}
+}
+
+func TestBenchConcurrentJSON(t *testing.T) {
+	// The concurrent sweep runs standalone: no -experiment/-all needed.
+	path := filepath.Join(t.TempDir(), "conc.json")
+	var b strings.Builder
+	if err := run([]string{"-bench-concurrent-json", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec concurrentRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rec.Schema != "conciliator-concurrent-bench/v1" {
+		t.Errorf("schema = %q", rec.Schema)
+	}
+	if rec.NumCPU <= 0 || rec.GOMAXPROCS <= 0 || rec.OpsPerProc != concurrentOpsPerProc {
+		t.Errorf("environment not recorded: %+v", rec)
+	}
+	wantEntries := 2 * len(concurrentSizes) // lock-free and locked per n
+	if len(rec.Experiments) != wantEntries {
+		t.Fatalf("got %d entries, want %d", len(rec.Experiments), wantEntries)
+	}
+	wantSteps := int64(concurrentStepsRuns * concurrentOpsPerProc * 4)
+	for _, e := range rec.Experiments {
+		var n int
+		if _, err := fmt.Sscanf(e.ID[strings.LastIndex(e.ID, "n=")+2:], "%d", &n); err != nil {
+			t.Fatalf("unparseable entry id %q", e.ID)
+		}
+		if e.Steps != wantSteps*int64(n) {
+			t.Errorf("%s: %d steps, want %d", e.ID, e.Steps, wantSteps*int64(n))
+		}
+		if e.WallSeconds > 0 && e.StepsPerSec <= 0 {
+			t.Errorf("%s: steps/sec not computed", e.ID)
+		}
+	}
+	for _, n := range concurrentSizes {
+		if _, ok := rec.SpeedupVsLocked[fmt.Sprintf("n=%d", n)]; !ok {
+			t.Errorf("speedup_vs_locked missing n=%d", n)
+		}
+	}
+	if !strings.Contains(b.String(), "concurrent-steps/lock-free/n=8") {
+		t.Errorf("sweep lines not printed:\n%s", b.String())
+	}
+}
+
+func TestBenchConcurrentBaselineGate(t *testing.T) {
+	// Same doctored-baseline shape as TestBenchBaselineGate: deflated
+	// passes, inflated fails, so the assertions are immune to timing
+	// noise on the measuring machine.
+	path := filepath.Join(t.TempDir(), "conc.json")
+	var b strings.Builder
+	if err := run([]string{"-bench-concurrent-json", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec concurrentRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	doctor := func(name string, factor float64) string {
+		scaled := rec
+		scaled.Experiments = make([]benchEntry, len(rec.Experiments))
+		copy(scaled.Experiments, rec.Experiments)
+		for i := range scaled.Experiments {
+			scaled.Experiments[i].StepsPerSec *= factor
+		}
+		out, err := json.Marshal(scaled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(p, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	b.Reset()
+	if err := run([]string{"-bench-concurrent-baseline", doctor("deflated.json", 1e-3)}, &b); err != nil {
+		t.Fatalf("gate failed against a deflated baseline: %v\n%s", err, b.String())
+	}
+	b.Reset()
+	err = run([]string{"-bench-concurrent-baseline", doctor("inflated.json", 1e3)}, &b)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("gate did not fail against inflated baseline: %v", err)
+	}
+}
+
+func TestBenchConcurrentConflictsWithFaults(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-fault", "all", "-bench-concurrent-json", "x.json"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "bench-concurrent-json") {
+		t.Fatalf("fault+concurrent-bench accepted: %v", err)
 	}
 }

@@ -319,10 +319,10 @@ func execute[V comparable](n int, inputs []V, opts []Option, body func(p *Proc, 
 	}
 	cfg := sim.Config{AlgSeed: o.algSeed, MaxSlots: o.maxSlots}
 	if o.concurrent {
-		outs, res := sim.CollectConcurrent(n, cfg, func(p *Proc) V {
+		outs, res, err := sim.CollectConcurrent(n, cfg, func(p *Proc) V {
 			return body(p, inputs[p.ID()])
 		})
-		return outs, res.Finished, res, nil
+		return outs, res.Finished, res, err
 	}
 	src := sched.New(o.schedule, n, o.schedSeed)
 	return sim.Collect(src, cfg, func(p *Proc) V {

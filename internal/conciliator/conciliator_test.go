@@ -485,8 +485,11 @@ func TestEmbeddedConcurrentMode(t *testing.T) {
 	const n = 16
 	c := NewEmbedded[int](n, EmbeddedConfig{})
 	inputs := distinctInputs(n)
-	outs, _ := sim.CollectConcurrent(n, sim.Config{AlgSeed: 3}, func(p *sim.Proc) int {
+	outs, _, err := sim.CollectConcurrent(n, sim.Config{AlgSeed: 3}, func(p *sim.Proc) int {
 		return c.Conciliate(p, inputs[p.ID()])
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkValidity(t, inputs, outs, "embedded concurrent")
 }

@@ -213,9 +213,12 @@ func TestConsensusConcurrentMode(t *testing.T) {
 	const n = 16
 	c := NewLinear[int](n)
 	inputs := distinct(n)
-	outs, _ := sim.CollectConcurrent(n, sim.Config{AlgSeed: 37}, func(p *sim.Proc) int {
+	outs, _, err := sim.CollectConcurrent(n, sim.Config{AlgSeed: 37}, func(p *sim.Proc) int {
 		return c.Propose(p, inputs[p.ID()])
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkConsensus(t, inputs, outs, "concurrent")
 }
 

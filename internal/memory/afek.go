@@ -15,6 +15,11 @@ import "fmt"
 // collects form an atomic view (double collect). A scanner that observes
 // some writer move twice borrows that writer's embedded view, which is
 // guaranteed to have been taken inside the scanner's own interval.
+//
+// The object has no locking of its own: it inherits whatever
+// representation its component registers latch, so under the lock-free
+// concurrent substrate the whole construction runs on hardware atomics —
+// exactly the wait-free, registers-only algorithm of the original paper.
 type AfekSnapshot[T any] struct {
 	cells []*Register[afekCell[T]]
 }

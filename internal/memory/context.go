@@ -9,10 +9,12 @@
 // calling process through the Context interface, matching the paper's cost
 // model in which both register operations and snapshot update/scan
 // operations cost one step (Section 1.1). Objects are internally
-// linearizable (a mutex makes each operation atomic), so the same objects
-// are safe in the free-running concurrent execution mode as well as under
-// the deterministic controlled scheduler, where at most one process runs
-// at a time anyway.
+// linearizable under every execution mode, via one of three
+// representations latched per object on first use (see repMode): direct
+// field access under the controlled engine's Exclusive contexts, the same
+// fields under a mutex for locked contexts, or genuine hardware atomics —
+// atomic.Pointer stores and CAS loops — for the lock-free concurrent
+// path (see LockFreer).
 package memory
 
 import (
@@ -50,6 +52,23 @@ type Scratcher interface {
 	ScratchMap() map[any]any
 }
 
+// LockFreer is an optional Context capability through which the
+// concurrent execution mode requests the lock-free object
+// implementations: CAS-loop atomic.Pointer cells instead of
+// mutex-guarded fields. Contexts that do not implement it (or report
+// false) keep the locked path, so golden tables, -race debugging with
+// the locked substrate, and the controlled engine's Exclusive() elision
+// are all unaffected.
+//
+// The capability is consulted only on an object's first operation: each
+// object latches its representation then (see repMode) and every later
+// operation follows the latch, whatever context issues it. Mixed-mode
+// histories — seed an object through Free, then hammer it from a
+// lock-free run — therefore stay on one coherent representation.
+type LockFreer interface {
+	LockFree() bool
+}
+
 // Free is a Context that never blocks and charges nothing. It is intended
 // for unit tests and non-simulated use of the memory objects.
 var Free Context = freeContext{}
@@ -68,6 +87,57 @@ type freeExclusiveContext struct{ freeContext }
 
 func (freeExclusiveContext) Exclusive() bool { return true }
 
+// FreeLockFree is Free plus the lock-free capability: for unit tests and
+// benchmarks that want to exercise the CAS-based object implementations
+// without a concurrent simulator run.
+var FreeLockFree Context = freeLockFreeContext{}
+
+type freeLockFreeContext struct{ freeContext }
+
+func (freeLockFreeContext) LockFree() bool { return true }
+
+// Object representations. Every shared object carries a repMode that
+// latches, on the object's first operation, which of its two state
+// representations holds the truth:
+//
+//   - repDirect: the plain struct fields, accessed directly under an
+//     Exclusive context or under the object's mutex otherwise. This is
+//     the controlled engine's path and the locked concurrent path.
+//   - repLockFree: an atomic.Pointer cell updated by plain stores or CAS
+//     loops, never touching the mutex. This is the concurrent mode's
+//     default path.
+//
+// The latch is sticky: once decided, every operation from every context
+// follows it, so two representations can never disagree about an
+// object's state. It costs one atomic load per operation on the hot
+// path (the CAS happens only on the very first operation).
+type repMode struct {
+	m atomic.Int32
+}
+
+const (
+	repUndecided int32 = iota
+	repDirect
+	repLockFree
+)
+
+// of returns the object's latched representation, deciding it from ctx
+// on the first call. Concurrent first operations racing to latch agree
+// on the outcome of the CAS.
+func (r *repMode) of(ctx Context) int32 {
+	if m := r.m.Load(); m != repUndecided {
+		return m
+	}
+	want := repDirect
+	if lf, ok := ctx.(LockFreer); ok && lf.LockFree() {
+		want = repLockFree
+	}
+	if r.m.CompareAndSwap(repUndecided, want) {
+		return want
+	}
+	return r.m.Load()
+}
+
 // opCounter tracks how many operations an object has served. Atomic so it
 // is safe in concurrent mode; reads are for metrics only.
 type opCounter struct {
@@ -83,13 +153,36 @@ func (c *opCounter) load() int64 { return c.n.Load() }
 // "Contended" counts operations that found the object's critical section
 // already held by another process — real operation overlap, which only
 // the concurrent execution mode can produce (the controlled scheduler
-// runs one operation at a time by construction).
+// runs one operation at a time by construction). "casretry" is the
+// lock-free analogue: CAS attempts that lost the race to a concurrent
+// operation and had to retry (or, for CompareEmptyAndWrite, observe the
+// winner).
+//
+// Every operation on every object follows one pinned order, in all three
+// representations (exclusive, locked, lock-free):
+//
+//  1. ctx.Step() — the step is charged (and, in controlled mode, the
+//     adversary schedules the operation) before anything is observable.
+//  2. The memory effect: the critical section, the direct field access,
+//     or the atomic store/CAS loop.
+//  3. The fault hook (FaultOnWrite / stale-read substitution), outside
+//     the critical section: the injector records the post-state an
+//     overlapping observer could legitimately see.
+//  4. Accounting: ops.inc() and the per-class counter, last, so counter
+//     deltas always describe completed effects. Counters are monotone
+//     diagnostics, not linearization witnesses — in concurrent mode an
+//     operation's effect and its counter increment are not one atomic
+//     unit, and no reader may assume they are.
+//
+// TestOperationOrderCounterDeltas pins the accounting half of this
+// contract in both concurrent representations.
 var (
 	mRegRead, mRegWrite, mRegContend  *metrics.Counter
 	mSnapUpdate, mSnapScan, mSnapCont *metrics.Counter
 	mMaxWrite, mMaxRead, mMaxContend  *metrics.Counter
 	mTreeWrite, mTreeRead             *metrics.Counter
 	mAfekUpdate, mAfekScan            *metrics.Counter
+	mRegCAS, mMaxCAS, mSnapCAS        *metrics.Counter
 )
 
 func init() {
@@ -97,12 +190,15 @@ func init() {
 		mRegRead = r.Counter("memory.register.read")
 		mRegWrite = r.Counter("memory.register.write")
 		mRegContend = r.Counter("memory.register.contended")
+		mRegCAS = r.Counter("memory.register.casretry")
 		mSnapUpdate = r.Counter("memory.snapshot.update")
 		mSnapScan = r.Counter("memory.snapshot.scan")
 		mSnapCont = r.Counter("memory.snapshot.contended")
+		mSnapCAS = r.Counter("memory.snapshot.casretry")
 		mMaxWrite = r.Counter("memory.maxreg.write")
 		mMaxRead = r.Counter("memory.maxreg.read")
 		mMaxContend = r.Counter("memory.maxreg.contended")
+		mMaxCAS = r.Counter("memory.maxreg.casretry")
 		mTreeWrite = r.Counter("memory.treemax.write")
 		mTreeRead = r.Counter("memory.treemax.read")
 		mAfekUpdate = r.Counter("memory.afek.update")

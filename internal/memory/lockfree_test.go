@@ -1,0 +1,312 @@
+// External test package: these tests drive the lock-free object
+// representations through the concurrent simulator (package memory can't
+// import sim directly — sim depends on memory) and validate recorded
+// histories with the linearize checker.
+package memory_test
+
+import (
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/linearize"
+	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/metrics"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+func TestLockFreeRegisterBasics(t *testing.T) {
+	ctx := memory.FreeLockFree
+	r := memory.NewRegister[int]()
+	if _, ok := r.Read(ctx); ok {
+		t.Fatal("fresh register reads as written")
+	}
+	r.Write(ctx, 42)
+	if v, ok := r.Read(ctx); !ok || v != 42 {
+		t.Fatalf("Read = (%d, %v), want (42, true)", v, ok)
+	}
+	if v, installed := r.CompareEmptyAndWrite(ctx, 7); installed || v != 42 {
+		t.Fatalf("CompareEmptyAndWrite on set register = (%d, %v), want (42, false)", v, installed)
+	}
+	r2 := memory.NewRegister[int]()
+	if v, installed := r2.CompareEmptyAndWrite(ctx, 7); !installed || v != 7 {
+		t.Fatalf("CompareEmptyAndWrite on empty register = (%d, %v), want (7, true)", v, installed)
+	}
+	if r.Ops() != 4 {
+		t.Errorf("r.Ops() = %d, want 4", r.Ops())
+	}
+}
+
+func TestLockFreeMaxRegisterBasics(t *testing.T) {
+	ctx := memory.FreeLockFree
+	m := memory.NewMaxRegister[string]()
+	if _, _, ok := m.ReadMax(ctx); ok {
+		t.Fatal("fresh max register reads as written")
+	}
+	m.WriteMax(ctx, 5, "five")
+	m.WriteMax(ctx, 3, "three") // dominated: dropped
+	if k, p, ok := m.ReadMax(ctx); !ok || k != 5 || p != "five" {
+		t.Fatalf("ReadMax = (%d, %q, %v), want (5, five, true)", k, p, ok)
+	}
+	m.WriteMax(ctx, 5, "five-again") // tie: incumbent payload kept
+	if _, p, _ := m.ReadMax(ctx); p != "five" {
+		t.Fatalf("tie write replaced payload: got %q", p)
+	}
+	m.WriteMax(ctx, 9, "nine")
+	if k, p, ok := m.ReadMax(ctx); !ok || k != 9 || p != "nine" {
+		t.Fatalf("ReadMax = (%d, %q, %v), want (9, nine, true)", k, p, ok)
+	}
+}
+
+func TestLockFreeSnapshotBasics(t *testing.T) {
+	ctx := memory.FreeLockFree
+	s := memory.NewSnapshot[int](3)
+	view := s.Scan(ctx)
+	for i, e := range view {
+		if e.OK {
+			t.Fatalf("fresh snapshot component %d set", i)
+		}
+	}
+	s.Update(ctx, 1, 11)
+	s.Update(ctx, 2, 22)
+	// A reused buffer must be fully overwritten, including unset slots.
+	view = s.ScanInto(ctx, view)
+	want := []memory.Entry[int]{{}, {Value: 11, OK: true}, {Value: 22, OK: true}}
+	for i := range want {
+		if view[i] != want[i] {
+			t.Fatalf("view[%d] = %+v, want %+v", i, view[i], want[i])
+		}
+	}
+}
+
+func TestLockFreeTreeMaxRegister(t *testing.T) {
+	ctx := memory.FreeLockFree
+	tr := memory.NewTreeMaxRegister[string](6)
+	writes := []struct {
+		k uint64
+		p string
+	}{{5, "a"}, {40, "b"}, {17, "c"}, {63, "d"}, {2, "e"}}
+	for _, w := range writes {
+		tr.WriteMax(ctx, w.k, w.p)
+	}
+	if k, p, ok := tr.ReadMax(ctx); !ok || k != 63 || p != "d" {
+		t.Fatalf("ReadMax = (%d, %q, %v), want (63, d, true)", k, p, ok)
+	}
+}
+
+func TestRepresentationLatchIsSticky(t *testing.T) {
+	// First op through Free latches the direct (locked) representation;
+	// a later lock-free-capable context must follow the latch and still
+	// observe the value.
+	r := memory.NewRegister[int]()
+	r.Write(memory.Free, 5)
+	if v, ok := r.Read(memory.FreeLockFree); !ok || v != 5 {
+		t.Fatalf("lock-free-context read after Free write = (%d, %v), want (5, true)", v, ok)
+	}
+	// And the reverse: latched lock-free, observed through Free.
+	r2 := memory.NewRegister[int]()
+	r2.Write(memory.FreeLockFree, 6)
+	if v, ok := r2.Read(memory.Free); !ok || v != 6 {
+		t.Fatalf("Free read after lock-free write = (%d, %v), want (6, true)", v, ok)
+	}
+}
+
+// TestOperationOrderCounterDeltas pins the accounting half of the pinned
+// operation order (step, effect, fault hook, then counters): each
+// operation class moves exactly its own counters, identically in the
+// locked and lock-free concurrent representations.
+func TestOperationOrderCounterDeltas(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ctx  memory.Context
+	}{
+		{name: "locked", ctx: memory.Free},
+		{name: "lock-free", ctx: memory.FreeLockFree},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			metrics.SetDefault(metrics.New())
+			defer metrics.SetDefault(nil)
+
+			reg := memory.NewRegister[int]()
+			maxr := memory.NewMaxRegister[int]()
+			snap := memory.NewSnapshot[int](4)
+
+			base := metrics.Default().Snapshot()
+			reg.Write(tc.ctx, 1)
+			reg.Write(tc.ctx, 2)
+			reg.Read(tc.ctx)
+			reg.CompareEmptyAndWrite(tc.ctx, 3) // register set: counts as a read
+			maxr.WriteMax(tc.ctx, 4, 4)
+			maxr.ReadMax(tc.ctx)
+			snap.Update(tc.ctx, 0, 5)
+			snap.Scan(tc.ctx)
+			delta := metrics.Default().Snapshot().Sub(base)
+
+			want := map[string]int64{
+				"memory.register.write":    2,
+				"memory.register.read":     2,
+				"memory.register.casretry": 1, // the failed empty-install
+				"memory.maxreg.write":      1,
+				"memory.maxreg.read":       1,
+				"memory.snapshot.update":   1,
+				"memory.snapshot.scan":     1,
+			}
+			if tc.name == "locked" {
+				// The locked path has no CAS to lose; the failed install is
+				// an uncontended critical section.
+				want["memory.register.casretry"] = 0
+			}
+			for name, n := range want {
+				if got := delta.Counters[name]; got != n {
+					t.Errorf("%s: delta = %d, want %d", name, got, n)
+				}
+			}
+			// No cross-class leakage and no phantom contention in a
+			// single-threaded sequence.
+			for _, name := range []string{
+				"memory.register.contended", "memory.maxreg.contended",
+				"memory.snapshot.contended", "memory.maxreg.casretry",
+				"memory.snapshot.casretry",
+			} {
+				if got := delta.Counters[name]; got != 0 {
+					t.Errorf("%s: delta = %d, want 0", name, got)
+				}
+			}
+			if reg.Ops() != 4 || maxr.Ops() != 2 || snap.Ops() != 2 {
+				t.Errorf("Ops: reg=%d maxr=%d snap=%d, want 4/2/2", reg.Ops(), maxr.Ops(), snap.Ops())
+			}
+		})
+	}
+}
+
+// runConcurrently runs body on n real goroutines through the concurrent
+// simulator, failing the test on any runner error.
+func runConcurrently(t *testing.T, n int, seed uint64, body sim.Body) {
+	t.Helper()
+	if _, err := sim.RunConcurrent(n, body, sim.Config{AlgSeed: seed}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockFreeRegisterHistoryLinearizes(t *testing.T) {
+	// 4 processes × (2 writes + 2 reads) = 24 ops, within the checker's
+	// 64-op window. The Go scheduler provides the interleaving; the
+	// checker must find a witness linearization for every recorded run.
+	for seed := uint64(1); seed <= 5; seed++ {
+		reg := memory.NewRegister[int]()
+		var rec linearize.Recorder
+		runConcurrently(t, 4, seed, func(p *sim.Proc) {
+			for i := 0; i < 2; i++ {
+				arg := int64(p.ID()*10 + i + 1)
+				s := rec.Begin()
+				reg.Write(p, int(arg))
+				rec.EndWrite(p.ID(), arg, s)
+				s = rec.Begin()
+				v, ok := reg.Read(p)
+				rec.EndRead(p.ID(), int64(v), ok, s)
+			}
+		})
+		ok, err := linearize.Check(linearize.RegisterSemantics{}, rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: lock-free register history has no linearization:\n%+v", seed, rec.History())
+		}
+	}
+}
+
+func TestLockFreeMaxRegisterHistoryLinearizes(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		maxr := memory.NewMaxRegister[int]()
+		var rec linearize.Recorder
+		runConcurrently(t, 4, seed, func(p *sim.Proc) {
+			for i := 0; i < 2; i++ {
+				key := uint64(p.ID()*10 + i + 1)
+				s := rec.Begin()
+				maxr.WriteMax(p, key, int(key))
+				rec.EndWrite(p.ID(), int64(key), s)
+				s = rec.Begin()
+				k, _, ok := maxr.ReadMax(p)
+				rec.EndRead(p.ID(), int64(k), ok, s)
+			}
+		})
+		ok, err := linearize.Check(linearize.MaxRegisterSemantics{}, rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: lock-free max-register history has no linearization:\n%+v", seed, rec.History())
+		}
+	}
+}
+
+func TestLockFreeSnapshotViewsNested(t *testing.T) {
+	// Linearizability of the snapshot implies every pair of views is
+	// subset-ordered; with the lock-free representation each view is one
+	// atomic load of the immutable vector, so nesting must hold exactly.
+	const n = 6
+	snap := memory.NewSnapshot[int](n)
+	views := make([][][]memory.Entry[int], n)
+	runConcurrently(t, n, 99, func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			snap.Update(p, p.ID(), i+1)
+			view := snap.Scan(p)
+			mine := make([]memory.Entry[int], len(view))
+			copy(mine, view)
+			views[p.ID()] = append(views[p.ID()], mine)
+		}
+	})
+	var all [][]memory.Entry[int]
+	for _, vs := range views {
+		all = append(all, vs...)
+	}
+	if !memory.ViewsNested(all) {
+		t.Fatal("lock-free snapshot views are not nested")
+	}
+}
+
+// TestLockFreeStress hammers every object class from many goroutines so
+// `go test -race ./internal/memory` exercises the CAS paths under the
+// race detector. Skipped object states are checked post-run through the
+// sticky latch.
+func TestLockFreeStress(t *testing.T) {
+	const n = 16
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	reg := memory.NewRegister[int]()
+	maxr := memory.NewMaxRegister[int]()
+	tree := memory.NewTreeMaxRegister[int](10)
+	snap := memory.NewSnapshot[int](n)
+	afek := memory.NewAfekSnapshot[int](n)
+	runConcurrently(t, n, 7, func(p *sim.Proc) {
+		for i := 0; i < iters; i++ {
+			reg.Write(p, p.ID())
+			reg.Read(p)
+			key := uint64(p.ID()*iters + i)
+			maxr.WriteMax(p, key, p.ID())
+			tree.WriteMax(p, key%1024, p.ID())
+			snap.Update(p, p.ID(), i)
+			if i%16 == 0 {
+				snap.Scan(p)
+				afek.Update(p, p.ID(), i)
+			}
+		}
+	})
+	wantMax := uint64((n-1)*iters + iters - 1)
+	if k, _, ok := maxr.ReadMax(memory.FreeLockFree); !ok || k != wantMax {
+		t.Errorf("ReadMax = (%d, %v), want (%d, true)", k, ok, wantMax)
+	}
+	view := snap.Scan(memory.FreeLockFree)
+	for i, e := range view {
+		if !e.OK || e.Value != iters-1 {
+			t.Errorf("snapshot component %d = %+v, want (%d, true)", i, e, iters-1)
+		}
+	}
+	aview := afek.Scan(memory.FreeLockFree)
+	for i, e := range aview {
+		if !e.OK {
+			t.Errorf("afek component %d unset after stress", i)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package memory
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Maxer is a max register with an attached payload: WriteMax installs
 // (key, payload) and ReadMax returns the payload carrying the largest key
@@ -20,7 +23,16 @@ type Maxer[T any] interface {
 // MaxRegister is the unit-cost max register: one step per operation,
 // linearizable by construction. It is the max-register analogue of the
 // unit-cost Snapshot.
+//
+// Lock-free representation: lf points to the immutable (key, payload)
+// maximum, nil meaning empty. WriteMax runs the classic atomic-max CAS
+// loop — reload, give up if the current maximum already dominates,
+// otherwise try to install — which is linearizable because a successful
+// CAS both observes the old maximum and installs the new one at a single
+// point, and a write that gives up linearizes at its dominating load.
 type MaxRegister[T any] struct {
+	rep     repMode
+	lf      atomic.Pointer[maxState[T]]
 	mu      sync.Mutex
 	key     uint64
 	payload T
@@ -48,14 +60,36 @@ func (m *MaxRegister[T]) WriteMax(ctx Context, key uint64, payload T) {
 	ctx.Step()
 	armed := faultsArmed()
 	var after maxState[T]
-	if ctx.Exclusive() {
+	switch {
+	case m.rep.of(ctx) == repLockFree:
+		st := &maxState[T]{key: key, payload: payload}
+		for {
+			cur := m.lf.Load()
+			if cur != nil && cur.key >= key {
+				// The current maximum already dominates (ties keep the
+				// incumbent payload, matching the locked path's key >
+				// m.key test); this write linearizes here as a no-op.
+				if armed {
+					after = *cur
+				}
+				break
+			}
+			if m.lf.CompareAndSwap(cur, st) {
+				if armed {
+					after = *st
+				}
+				break
+			}
+			mMaxCAS.Inc()
+		}
+	case ctx.Exclusive():
 		if !m.set || key > m.key {
 			m.key, m.payload, m.set = key, payload, true
 		}
 		if armed {
 			after = maxState[T]{key: m.key, payload: m.payload}
 		}
-	} else {
+	default:
 		lockMeter(&m.mu, mMaxContend)
 		if !m.set || key > m.key {
 			m.key, m.payload, m.set = key, payload, true
@@ -96,9 +130,14 @@ func (m *MaxRegister[T]) ReadMax(ctx Context) (uint64, T, bool) {
 		p  T
 		ok bool
 	)
-	if ctx.Exclusive() {
+	switch {
+	case m.rep.of(ctx) == repLockFree:
+		if st := m.lf.Load(); st != nil {
+			k, p, ok = st.key, st.payload, true
+		}
+	case ctx.Exclusive():
 		k, p, ok = m.key, m.payload, m.set
-	} else {
+	default:
 		lockMeter(&m.mu, mMaxContend)
 		k, p, ok = m.key, m.payload, m.set
 		m.mu.Unlock()
@@ -133,10 +172,13 @@ type maxNode[T any] struct {
 	// this leaf represents.
 	leaf *Register[T]
 
-	// Internal node state: high-half switch plus children.
+	// Internal node state: high-half switch plus lazily created children.
+	// Child slots are atomic pointers so node creation — bookkeeping, not
+	// a modeled memory operation — is lock-free in every mode: losers of
+	// the creation CAS adopt the winner's node.
 	swtch *Register[struct{}]
-	left  *maxNode[T]
-	right *maxNode[T]
+	left  atomic.Pointer[maxNode[T]]
+	right atomic.Pointer[maxNode[T]]
 }
 
 // NewTreeMaxRegister returns a register-based max register for keys in
@@ -187,7 +229,7 @@ func (n *maxNode[T]) writeMax(ctx Context, depth int, key uint64, payload T) {
 	}
 	half := uint64(1) << uint(depth-1)
 	if key >= half {
-		n.child(ctx, &n.right, depth-1).writeMax(ctx, depth-1, key-half, payload)
+		child(&n.right, depth-1).writeMax(ctx, depth-1, key-half, payload)
 		n.swtch.Write(ctx, struct{}{})
 		return
 	}
@@ -196,7 +238,7 @@ func (n *maxNode[T]) writeMax(ctx Context, depth int, key uint64, payload T) {
 		// maximum, so it may be dropped without violating linearizability.
 		return
 	}
-	n.child(ctx, &n.left, depth-1).writeMax(ctx, depth-1, key, payload)
+	child(&n.left, depth-1).writeMax(ctx, depth-1, key, payload)
 }
 
 func (n *maxNode[T]) readMax(ctx Context, depth int) (uint64, T, bool) {
@@ -208,43 +250,28 @@ func (n *maxNode[T]) readMax(ctx Context, depth int) (uint64, T, bool) {
 	if _, high := n.swtch.Read(ctx); high {
 		// The switch is set only after the corresponding right-subtree
 		// write completed, so the right subtree is non-empty.
-		k, v, ok := n.child(ctx, &n.right, depth-1).readMax(ctx, depth-1)
+		k, v, ok := child(&n.right, depth-1).readMax(ctx, depth-1)
 		return half + k, v, ok
 	}
-	if n.leftNil(ctx) {
+	if n.left.Load() == nil {
 		var zero T
 		return 0, zero, false
 	}
-	return n.child(ctx, &n.left, depth-1).readMax(ctx, depth-1)
+	return child(&n.left, depth-1).readMax(ctx, depth-1)
 }
 
-// child returns *slot, creating the node on first use. Lazy creation keeps
-// the tree proportional to the number of distinct key prefixes written
-// rather than 2^bits. Guarded by a package-level mutex because node
-// creation is bookkeeping, not a modeled memory operation; exclusive
-// contexts own the whole tree for the duration of the call and skip it.
-func (n *maxNode[T]) child(ctx Context, slot **maxNode[T], depth int) *maxNode[T] {
-	if ctx.Exclusive() {
-		if *slot == nil {
-			*slot = newMaxNode[T](depth)
-		}
-		return *slot
+// child returns slot's node, creating it on first use. Lazy creation
+// keeps the tree proportional to the number of distinct key prefixes
+// written rather than 2^bits. Creation races install exactly one node
+// (first CAS wins; losers adopt it), and the atomic slot doubles as the
+// publication barrier for the new node's registers.
+func child[T any](slot *atomic.Pointer[maxNode[T]], depth int) *maxNode[T] {
+	if c := slot.Load(); c != nil {
+		return c
 	}
-	treeMu.Lock()
-	defer treeMu.Unlock()
-	if *slot == nil {
-		*slot = newMaxNode[T](depth)
+	c := newMaxNode[T](depth)
+	if slot.CompareAndSwap(nil, c) {
+		return c
 	}
-	return *slot
+	return slot.Load()
 }
-
-func (n *maxNode[T]) leftNil(ctx Context) bool {
-	if ctx.Exclusive() {
-		return n.left == nil
-	}
-	treeMu.Lock()
-	defer treeMu.Unlock()
-	return n.left == nil
-}
-
-var treeMu sync.Mutex

@@ -232,13 +232,15 @@ func TestConcurrentModeReplicas(t *testing.T) {
 	for i := 0; i < n; i++ {
 		replicas[i] = NewReplica(i, log, nil)
 	}
-	sim.RunConcurrent(n, func(p *sim.Proc) {
+	if _, err := sim.RunConcurrent(n, func(p *sim.Proc) {
 		pending := make([]string, slots)
 		for s := range pending {
 			pending[s] = fmt.Sprintf("r%d-s%d", p.ID(), s)
 		}
 		logs[p.ID()] = replicas[p.ID()].Run(p, 0, pending)
-	}, sim.Config{AlgSeed: 41})
+	}, sim.Config{AlgSeed: 41}); err != nil {
+		t.Fatal(err)
+	}
 	for r := 1; r < n; r++ {
 		for s := 0; s < slots; s++ {
 			if logs[r][s] != logs[0][s] {

@@ -13,9 +13,13 @@
 //
 //   - Concurrent: processes run as free goroutines over the same
 //     linearizable objects, with the Go runtime as the (weak, effectively
-//     content-oblivious) scheduler. Used by the examples and the -race
-//     tests to show the identical algorithm code running as an ordinary
-//     concurrent Go program.
+//     content-oblivious) scheduler. By default the shared objects run on
+//     their lock-free representations (hardware CAS instead of mutexes;
+//     see memory.LockFreer and Config.LockedMemory), so this mode
+//     measures real multi-core throughput. Used by the examples, the
+//     -race tests, and the concurrent benchmarks; ConcurrentRunner (in
+//     concurrent.go) is the reusable multi-trial harness behind
+//     RunConcurrent.
 //
 // Process bodies receive a *Proc, which carries the process id, a private
 // deterministic RNG stream, and the step gate implementing memory.Context.
@@ -145,6 +149,12 @@ type Proc struct {
 	controlled bool
 	exclusive  bool
 
+	// lockfree reports whether this process's shared-memory operations
+	// should latch objects onto the lock-free (CAS/atomic.Pointer)
+	// representations. Set only for concurrent-mode processes, and only
+	// while the run's Config keeps LockedMemory off.
+	lockfree bool
+
 	// inj is the run's fault injector, nil for unfaulted runs. Proc
 	// delegates the memory.Faulter capability to it, adding the pid.
 	inj *fault.Injector
@@ -156,9 +166,11 @@ type Proc struct {
 	// steps is the controlled-mode step counter. It is written only
 	// inside the process's own coroutine and read by the driver, and
 	// every coroutine switch is a synchronization point, so it needs no
-	// atomicity. Concurrent mode uses concSteps instead.
-	steps     int64
-	concSteps atomic.Int64
+	// atomicity. Concurrent mode uses conc instead: a pointer into the
+	// runner's cache-line-padded counter slab, so processes hammering
+	// their own counters on different cores never write-share a line.
+	steps int64
+	conc  *atomic.Int64
 
 	// Controlled-mode coroutine hooks. yield parks the coroutine inside
 	// Step; next and stop are the driver's handles on it.
@@ -175,6 +187,7 @@ type Proc struct {
 var _ memory.Context = (*Proc)(nil)
 var _ memory.Scratcher = (*Proc)(nil)
 var _ memory.Faulter = (*Proc)(nil)
+var _ memory.LockFreer = (*Proc)(nil)
 
 // ID returns the process id in [0, n).
 func (p *Proc) ID() int { return p.id }
@@ -189,7 +202,7 @@ func (p *Proc) Steps() int64 {
 	if p.controlled {
 		return p.steps
 	}
-	return p.concSteps.Load()
+	return p.conc.Load()
 }
 
 // Step implements memory.Context.
@@ -204,7 +217,7 @@ func (p *Proc) Step() {
 		p.steps++
 		return
 	}
-	p.concSteps.Add(1)
+	p.conc.Add(1)
 }
 
 // Exclusive implements memory.Context. It reports whether shared objects
@@ -212,6 +225,12 @@ func (p *Proc) Step() {
 // controlled mode (where the coroutine engine makes execution sequential
 // by construction) and while the exclusive substrate is enabled.
 func (p *Proc) Exclusive() bool { return p.exclusive }
+
+// LockFree implements memory.LockFreer: concurrent-mode processes direct
+// shared objects onto the lock-free CAS implementations unless the run
+// asked for the locked substrate (Config.LockedMemory). Controlled-mode
+// processes always report false.
+func (p *Proc) LockFree() bool { return p.lockfree }
 
 // ScratchMap implements memory.Scratcher, exposing the per-process
 // scratch arena shared objects use to reuse buffers across operations.
@@ -276,8 +295,16 @@ type Config struct {
 	// schedules are interpreted by controlled runs only: weakened
 	// register semantics, stutters, stalls, and crash-recovery restarts
 	// fire at the deterministic clocks the schedule names. Concurrent
-	// runs ignore it.
+	// runs refuse them with ErrConcurrentFaults rather than silently
+	// running unfaulted.
 	Faults *fault.Schedule
+
+	// LockedMemory forces a concurrent run's processes onto the
+	// mutex-guarded object paths instead of the lock-free substrate —
+	// the pre-lock-free behavior, kept selectable for cross-substrate
+	// equivalence tests and benchmarks. Controlled runs ignore it (their
+	// substrate is chosen by SetExclusiveSubstrate).
+	LockedMemory bool
 }
 
 const defaultMaxSlots = 1 << 26
@@ -640,42 +667,6 @@ func drive(src sched.Source, rs *runState, cfg Config, body Body, inj *fault.Inj
 	return res, err
 }
 
-// RunConcurrent executes n copies of body as free-running goroutines and
-// waits for all of them. The Go scheduler plays the adversary; since it
-// cannot observe the processes' private RNG streams, it is (heuristically)
-// a weak adversary in the paper's sense. Concurrent Procs are never
-// pooled and never exclusive: the shared objects keep their mutexes.
-func RunConcurrent(n int, body Body, cfg Config) Result {
-	procs := make([]*Proc, n)
-	var root xrand.Rand
-	root.Reseed(cfg.AlgSeed)
-	for i := 0; i < n; i++ {
-		procs[i] = &Proc{id: i}
-		root.ForkNamedInto(uint64(i), &procs[i].rng)
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			body(procs[i])
-		}()
-	}
-	wg.Wait()
-	res := Result{
-		Steps:    make([]int64, n),
-		Finished: make([]bool, n),
-	}
-	for i := 0; i < n; i++ {
-		res.Steps[i] = procs[i].Steps()
-		res.TotalSteps += res.Steps[i]
-		res.Finished[i] = true
-	}
-	observeRun(res, false)
-	return res
-}
-
 // Collect runs body under the controlled scheduler and gathers one output
 // value per process. Crashed (never-finished) processes report ok=false.
 func Collect[V any](src sched.Source, cfg Config, body func(p *Proc) V) ([]V, []bool, Result, error) {
@@ -687,11 +678,12 @@ func Collect[V any](src sched.Source, cfg Config, body func(p *Proc) V) ([]V, []
 	return outs, res.Finished, res, err
 }
 
-// CollectConcurrent is Collect for the concurrent mode.
-func CollectConcurrent[V any](n int, cfg Config, body func(p *Proc) V) ([]V, Result) {
+// CollectConcurrent is Collect for the concurrent mode. Processes that
+// panicked (see RunConcurrent) report the zero V and Finished=false.
+func CollectConcurrent[V any](n int, cfg Config, body func(p *Proc) V) ([]V, Result, error) {
 	outs := make([]V, n)
-	res := RunConcurrent(n, func(p *Proc) {
+	res, err := RunConcurrent(n, func(p *Proc) {
 		outs[p.ID()] = body(p)
 	}, cfg)
-	return outs, res
+	return outs, res, err
 }

@@ -290,7 +290,7 @@ func TestCollect(t *testing.T) {
 
 func TestRunConcurrent(t *testing.T) {
 	reg := memory.NewRegister[int]()
-	res := RunConcurrent(8, func(p *Proc) {
+	res, err := RunConcurrent(8, func(p *Proc) {
 		for i := 0; i < 100; i++ {
 			reg.Write(p, p.ID())
 			if _, ok := reg.Read(p); !ok {
@@ -299,6 +299,9 @@ func TestRunConcurrent(t *testing.T) {
 			}
 		}
 	}, Config{AlgSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.TotalSteps != 8*200 {
 		t.Fatalf("TotalSteps = %d, want %d", res.TotalSteps, 8*200)
 	}
@@ -310,13 +313,16 @@ func TestRunConcurrent(t *testing.T) {
 }
 
 func TestCollectConcurrent(t *testing.T) {
-	outs, res := CollectConcurrent(4, Config{AlgSeed: 3}, func(p *Proc) string {
+	outs, res, err := CollectConcurrent(4, Config{AlgSeed: 3}, func(p *Proc) string {
 		p.Step()
 		if p.ID()%2 == 0 {
 			return "even"
 		}
 		return "odd"
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.TotalSteps != 4 {
 		t.Fatalf("TotalSteps = %d", res.TotalSteps)
 	}
@@ -389,12 +395,15 @@ func TestResultSlotsCounted(t *testing.T) {
 func TestStepsVisibleDuringConcurrentRun(t *testing.T) {
 	// Steps uses an atomic counter so metrics can be read mid-run.
 	observed := make([]int64, 2)
-	res := RunConcurrent(2, func(p *Proc) {
+	res, err := RunConcurrent(2, func(p *Proc) {
 		for i := 0; i < 100; i++ {
 			p.Step()
 		}
 		observed[p.ID()] = p.Steps() // own-goroutine read
 	}, Config{AlgSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for pid, o := range observed {
 		if o != 100 {
 			t.Fatalf("process %d observed %d own steps", pid, o)

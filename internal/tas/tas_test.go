@@ -143,9 +143,12 @@ func TestWinnerUnderEveryScheduleKind(t *testing.T) {
 func TestConcurrentModeOneWinner(t *testing.T) {
 	const n = 32
 	ts := New(n, Config{})
-	wins, _ := sim.CollectConcurrent(n, sim.Config{AlgSeed: 19}, func(p *sim.Proc) bool {
+	wins, _, err := sim.CollectConcurrent(n, sim.Config{AlgSeed: 19}, func(p *sim.Proc) bool {
 		return ts.Acquire(p)
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := 0
 	for _, won := range wins {
 		if won {
