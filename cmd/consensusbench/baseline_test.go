@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, rec benchRecord) string {
+	t.Helper()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareBaselineHostMismatchSkips: a baseline recorded on a host
+// with a different CPU count or GOMAXPROCS must be skipped with a
+// warning, not gated on — steps/s are not comparable across host shapes
+// (BENCH_concurrent_steps.json was measured on a 1-CPU runner).
+func TestCompareBaselineHostMismatchSkips(t *testing.T) {
+	entries := []benchEntry{{ID: "concurrent-steps/x", StepsPerSec: 1}}
+	tests := []struct {
+		name string
+		rec  benchRecord
+	}{
+		{"cpu count differs", benchRecord{
+			NumCPU:      runtime.NumCPU() + 1,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Experiments: []benchEntry{{ID: "concurrent-steps/x", StepsPerSec: 100}},
+		}},
+		{"gomaxprocs differs", benchRecord{
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0) + 1,
+			Experiments: []benchEntry{{ID: "concurrent-steps/x", StepsPerSec: 100}},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			path := writeBaseline(t, tt.rec)
+			var b strings.Builder
+			// The entry is 100x below baseline: without the skip this
+			// would be a hard regression failure.
+			if err := compareBaseline(&b, entries, path, "concurrent-steps/"); err != nil {
+				t.Fatalf("host mismatch gated instead of skipping: %v", err)
+			}
+			out := b.String()
+			if !strings.Contains(out, "skipping") || !strings.Contains(out, "not comparable") {
+				t.Errorf("no skip warning printed:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestCompareBaselineSameHostStillGates: the mismatch skip must not
+// disable the gate when the host shape matches the record.
+func TestCompareBaselineSameHostStillGates(t *testing.T) {
+	path := writeBaseline(t, benchRecord{
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Experiments: []benchEntry{{ID: "controlled-steps/x", StepsPerSec: 1000}},
+	})
+	var b strings.Builder
+	err := compareBaseline(&b, []benchEntry{{ID: "controlled-steps/x", StepsPerSec: 10}}, path, "controlled-steps/")
+	if err == nil {
+		t.Fatalf("100x regression on a matching host passed:\n%s", b.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("unexpected error: %v", err)
+	}
+
+	// And a non-regressed entry still passes.
+	b.Reset()
+	if err := compareBaseline(&b, []benchEntry{{ID: "controlled-steps/x", StepsPerSec: 990}}, path, "controlled-steps/"); err != nil {
+		t.Errorf("healthy entry failed the gate: %v", err)
+	}
+}
+
+// TestCompareBaselineLegacyRecordWithoutGomaxprocs: records written
+// before the gomaxprocs field existed (zero value) are checked on CPU
+// count alone rather than spuriously skipped.
+func TestCompareBaselineLegacyRecordWithoutGomaxprocs(t *testing.T) {
+	path := writeBaseline(t, benchRecord{
+		NumCPU:      runtime.NumCPU(),
+		Experiments: []benchEntry{{ID: "controlled-steps/x", StepsPerSec: 1000}},
+	})
+	var b strings.Builder
+	if err := compareBaseline(&b, []benchEntry{{ID: "controlled-steps/x", StepsPerSec: 950}}, path, "controlled-steps/"); err != nil {
+		t.Fatalf("legacy record without gomaxprocs was not compared: %v", err)
+	}
+	if strings.Contains(b.String(), "skipping") {
+		t.Errorf("legacy record spuriously skipped:\n%s", b.String())
+	}
+}

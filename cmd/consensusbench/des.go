@@ -1,0 +1,263 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/oblivious-consensus/conciliator/internal/des"
+	"github.com/oblivious-consensus/conciliator/internal/experiment"
+	"github.com/oblivious-consensus/conciliator/internal/stats"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// desFlags is the -des* flag surface, collected so run() can validate
+// the combination up front — the same shape as faultFlags: any flag set
+// makes the mode active, and an active mode rejects every conflicting
+// run shape before a single trial executes.
+type desFlags struct {
+	run        bool
+	jsonOut    string
+	ns         string
+	protocols  string
+	trials     int
+	latency    string
+	loss       float64
+	partitions string
+}
+
+func (f *desFlags) active() bool {
+	return f.run || f.jsonOut != "" || f.ns != "" || f.protocols != "" ||
+		f.trials != 0 || f.latency != "" || f.loss != 0 || f.partitions != ""
+}
+
+// desDefaultNs is the committed E18 sweep: the regime where log log n
+// visibly separates from log n.
+var desDefaultNs = []int{1000, 10000, 100000}
+
+const desDefaultTrials = 5
+
+// validate parses and checks every -des-* value, returning the resolved
+// sweep inputs.
+func (f *desFlags) validate() (ns []int, protocols []string, net des.NetConfig, trials int, err error) {
+	if !f.run {
+		return nil, nil, net, 0, fmt.Errorf("-des-json/-des-n/-des-protocols/-des-trials/-des-latency/-des-loss/-des-partition require -des")
+	}
+	ns = desDefaultNs
+	if f.ns != "" {
+		ns = nil
+		for _, s := range strings.Split(f.ns, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			n, perr := strconv.Atoi(s)
+			if perr != nil || n < 1 {
+				return nil, nil, net, 0, fmt.Errorf("-des-n: bad process count %q", s)
+			}
+			ns = append(ns, n)
+		}
+		if len(ns) == 0 {
+			return nil, nil, net, 0, fmt.Errorf("-des-n: no process counts in %q", f.ns)
+		}
+	}
+	protocols = des.Protocols()
+	if f.protocols != "" {
+		protocols = nil
+		known := make(map[string]bool)
+		for _, p := range des.Protocols() {
+			known[p] = true
+		}
+		for _, s := range strings.Split(f.protocols, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			if !known[s] {
+				return nil, nil, net, 0, fmt.Errorf("-des-protocols: unknown protocol %q (want %s)", s, strings.Join(des.Protocols(), ", "))
+			}
+			protocols = append(protocols, s)
+		}
+		if len(protocols) == 0 {
+			return nil, nil, net, 0, fmt.Errorf("-des-protocols: no protocols in %q", f.protocols)
+		}
+	}
+	if f.latency != "" {
+		net.Latency, err = des.ParseLatency(f.latency)
+		if err != nil {
+			return nil, nil, net, 0, fmt.Errorf("-des-latency: %w", err)
+		}
+	}
+	if f.loss < 0 || f.loss > 0.99 {
+		return nil, nil, net, 0, fmt.Errorf("-des-loss: %g out of range [0, 0.99]", f.loss)
+	}
+	net.Loss = f.loss
+	if f.partitions != "" {
+		for _, s := range strings.Split(f.partitions, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			p, perr := des.ParsePartition(s)
+			if perr != nil {
+				return nil, nil, net, 0, fmt.Errorf("-des-partition: %w", perr)
+			}
+			net.Partitions = append(net.Partitions, p)
+		}
+	}
+	trials = f.trials
+	if trials < 0 {
+		return nil, nil, net, 0, fmt.Errorf("-des-trials: %d must be positive", trials)
+	}
+	if trials == 0 {
+		trials = desDefaultTrials
+	}
+	// One throwaway validation run catches config-level errors (e.g. a
+	// partition that never heals) before the sweep starts.
+	probe := des.Config{N: 1, Protocol: protocols[0], Net: net, Seed: 1}
+	if _, perr := des.Run(probe); perr != nil {
+		return nil, nil, net, 0, fmt.Errorf("-des: %w", perr)
+	}
+	return ns, protocols, net, trials, nil
+}
+
+// desRecord is the machine-readable record written by -des-json.
+type desRecord struct {
+	Schema     string   `json:"schema"` // "conciliator-des/v1"
+	Seed       uint64   `json:"seed"`
+	Trials     int      `json:"trials"`
+	Latency    string   `json:"latency"`
+	Loss       float64  `json:"loss"`
+	Partitions []string `json:"partitions,omitempty"`
+	Rows       []desRow `json:"rows"`
+}
+
+type desRow struct {
+	N             int     `json:"n"`
+	Protocol      string  `json:"protocol"`
+	Rounds        int     `json:"rounds_per_phase"`
+	Phases        int     `json:"phases"`
+	StepsMean     float64 `json:"steps_per_proc_mean"`
+	StepsCI95     float64 `json:"steps_per_proc_ci95"`
+	StepsP50      float64 `json:"steps_p50"`
+	StepsP90      float64 `json:"steps_p90"`
+	StepsP99      float64 `json:"steps_p99"`
+	StepsMax      int64   `json:"steps_max"`
+	MsgsSent      int64   `json:"msgs_sent"`
+	MsgsDropped   int64   `json:"msgs_dropped"`
+	MsgsBlocked   int64   `json:"msgs_blocked"`
+	Retransmits   int64   `json:"retransmits"`
+	Events        int64   `json:"events"`
+	VirtualMsMean float64 `json:"virtual_ms_mean"`
+	AllDecided    bool    `json:"all_decided"`
+	Violations    int     `json:"violations"`
+}
+
+// runDESSweep executes the flag-driven DES sweep: for each (n, protocol)
+// cell it runs `trials` seeds derived from the master seed, prints one
+// table row, and optionally writes the JSON record. Deterministic in
+// (seed, flags).
+func runDESSweep(out io.Writer, df *desFlags, seed uint64, format string) error {
+	ns, protocols, net, trials, err := df.validate()
+	if err != nil {
+		return err
+	}
+	if seed == 0 {
+		seed = 20120716 // the documented default master seed
+	}
+
+	rec := desRecord{
+		Schema:  "conciliator-des/v1",
+		Seed:    seed,
+		Trials:  trials,
+		Latency: net.Latency.String(),
+		Loss:    net.Loss,
+	}
+	if net.Latency.Mean <= 0 {
+		rec.Latency = "exp:1ms" // the engine default, applied per run
+	}
+	for _, p := range net.Partitions {
+		rec.Partitions = append(rec.Partitions, p.String())
+	}
+
+	tbl := experiment.Table{
+		ID:      "DES",
+		Title:   fmt.Sprintf("message-passing sweep (latency %s, loss %g, %d partitions, %d trials)", rec.Latency, net.Loss, len(net.Partitions), trials),
+		Columns: []string{"n", "protocol", "rounds/phase", "phases", "steps/proc", "p99", "max", "retransmits", "virtual ms", "all decided", "violations"},
+	}
+
+	// Per-trial seeds come from a named fork of the master seed, so the
+	// sweep composition (which cells run, in what order) cannot change
+	// any cell's results.
+	seedRng := xrand.New(seed).ForkNamed(0xde5)
+	for _, n := range ns {
+		for _, protocol := range protocols {
+			cellSeeds := make([]uint64, trials)
+			for t := range cellSeeds {
+				cellSeeds[t] = seedRng.Uint64()
+			}
+			var (
+				steps  []float64
+				vtimes []float64
+				row    = desRow{N: n, Protocol: protocol, AllDecided: true}
+			)
+			for _, s := range cellSeeds {
+				res, rerr := des.Run(des.Config{N: n, Protocol: protocol, Net: net, Seed: s})
+				if rerr != nil {
+					return fmt.Errorf("des n=%d %s: %w", n, protocol, rerr)
+				}
+				row.Rounds = res.Rounds
+				if res.Phases > row.Phases {
+					row.Phases = res.Phases
+				}
+				for _, st := range res.Steps {
+					steps = append(steps, float64(st))
+				}
+				vtimes = append(vtimes, float64(res.VirtualTime.Microseconds())/1000)
+				row.MsgsSent += res.MsgsSent
+				row.MsgsDropped += res.MsgsDropped
+				row.MsgsBlocked += res.MsgsBlocked
+				row.Retransmits += res.Retransmits
+				row.Events += res.Events
+				row.AllDecided = row.AllDecided && res.AllDecided
+				row.Violations += len(res.Violations)
+				if m := res.MaxSteps(); m > row.StepsMax {
+					row.StepsMax = m
+				}
+			}
+			sum := stats.Summarize(steps)
+			qs := stats.Quantiles(steps, 0.5, 0.9, 0.99)
+			row.StepsMean, row.StepsCI95 = sum.Mean, sum.CI95()
+			row.StepsP50, row.StepsP90, row.StepsP99 = qs[0], qs[1], qs[2]
+			vsum := stats.Summarize(vtimes)
+			row.VirtualMsMean = vsum.Mean
+			rec.Rows = append(rec.Rows, row)
+			tbl.AddRow(n, protocol, row.Rounds, row.Phases, sum.String(), qs[2], row.StepsMax,
+				row.Retransmits, vsum.String(), fmt.Sprintf("%v", row.AllDecided), row.Violations)
+		}
+	}
+
+	switch format {
+	case "markdown":
+		fmt.Fprintln(out, tbl.Markdown())
+	case "tsv":
+		fmt.Fprintf(out, "# %s: %s\n%s\n", tbl.ID, tbl.Title, tbl.TSV())
+	default:
+		fmt.Fprintln(out, tbl.Text())
+	}
+
+	if df.jsonOut != "" {
+		data, merr := json.MarshalIndent(rec, "", "  ")
+		if merr != nil {
+			return fmt.Errorf("encoding DES record: %w", merr)
+		}
+		data = append(data, '\n')
+		if werr := os.WriteFile(df.jsonOut, data, 0o644); werr != nil {
+			return fmt.Errorf("writing DES record: %w", werr)
+		}
+	}
+	return nil
+}

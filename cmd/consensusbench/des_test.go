@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDESFlagValidation: every contradictory or malformed -des*
+// combination must fail fast with a descriptive error — a full DES sweep
+// runs for minutes at n=100k, so a typo must not burn that budget first.
+func TestDESFlagValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"bench-json conflict", []string{"-des", "-bench-json", "b.json"}, "cannot be combined"},
+		{"bench-baseline conflict", []string{"-des", "-bench-baseline", "b.json"}, "cannot be combined"},
+		{"bench-concurrent-json conflict", []string{"-des", "-bench-concurrent-json", "b.json"}, "cannot be combined"},
+		{"bench-concurrent-baseline conflict", []string{"-des", "-bench-concurrent-baseline", "b.json"}, "cannot be combined"},
+		{"experiment conflict", []string{"-des", "-experiment", "E18"}, "cannot be combined"},
+		{"all conflict", []string{"-des", "-all"}, "cannot be combined"},
+		{"list conflict", []string{"-des", "-list"}, "cannot be combined"},
+		{"fault conflict", []string{"-des", "-fault", "all"}, "cannot be combined"},
+		{"fault-trials conflict", []string{"-des", "-fault-trials", "3"}, "cannot be combined"},
+		{"orphan des-json", []string{"-des-json", "d.json"}, "require -des"},
+		{"orphan des-n", []string{"-des-n", "1000"}, "require -des"},
+		{"orphan des-loss", []string{"-des-loss", "0.5"}, "require -des"},
+		{"bad n", []string{"-des", "-des-n", "0"}, "bad process count"},
+		{"junk n", []string{"-des", "-des-n", "many"}, "bad process count"},
+		{"empty n", []string{"-des", "-des-n", " , "}, "no process counts"},
+		{"unknown protocol", []string{"-des", "-des-protocols", "paxos"}, "unknown protocol"},
+		{"negative trials", []string{"-des", "-des-trials", "-2"}, "des-trials"},
+		{"loss too big", []string{"-des", "-des-loss", "1.5"}, "out of range"},
+		{"bad latency kind", []string{"-des", "-des-latency", "normal:1ms"}, "latency"},
+		{"bad latency mean", []string{"-des", "-des-latency", "exp:zzz"}, "latency"},
+		{"bad partition", []string{"-des", "-des-partition", "5ms+25ms+0.3"}, "partition"},
+		{"partition never heals", []string{"-des", "-des-partition", "25ms:5ms:0.3"}, "heal"},
+		{"partition frac zero", []string{"-des", "-des-partition", "5ms:25ms:0"}, "fraction"},
+		{"bad format", []string{"-des", "-format", "xml"}, "unknown format"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var b strings.Builder
+			err := run(tt.args, &b)
+			if err == nil {
+				t.Fatalf("args %v accepted", tt.args)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDESSweepSmokeAndRecord(t *testing.T) {
+	recPath := filepath.Join(t.TempDir(), "des.json")
+	var b strings.Builder
+	err := run([]string{
+		"-des",
+		"-des-n", "64,128",
+		"-des-protocols", "sifter,priority-max",
+		"-des-trials", "2",
+		"-des-json", recPath,
+	}, &b)
+	if err != nil {
+		t.Fatalf("sweep failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"message-passing sweep", "sifter", "priority-max", "steps/proc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(recPath)
+	if err != nil {
+		t.Fatalf("record not written: %v", err)
+	}
+	var rec desRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v", err)
+	}
+	if rec.Schema != "conciliator-des/v1" {
+		t.Errorf("schema = %q, want conciliator-des/v1", rec.Schema)
+	}
+	if len(rec.Rows) != 4 { // 2 ns x 2 protocols
+		t.Fatalf("got %d rows, want 4", len(rec.Rows))
+	}
+	for _, row := range rec.Rows {
+		if !row.AllDecided || row.Violations != 0 {
+			t.Errorf("row %+v: expected a clean decided run", row)
+		}
+		if row.StepsMean <= 0 || row.StepsMax <= 0 || row.Events <= 0 {
+			t.Errorf("row %+v: implausible accounting", row)
+		}
+	}
+}
+
+// TestDESSweepReplaysByteIdentically is the CLI-level determinism
+// contract: the same seed and flags must render the same bytes.
+func TestDESSweepReplaysByteIdentically(t *testing.T) {
+	args := []string{"-des", "-des-n", "96", "-des-trials", "2", "-des-loss", "0.1", "-seed", "7"}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed and flags rendered different tables:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

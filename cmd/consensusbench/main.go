@@ -40,6 +40,7 @@ type benchRecord struct {
 	GOOS             string       `json:"goos"`
 	GOARCH           string       `json:"goarch"`
 	NumCPU           int          `json:"num_cpu"`
+	GOMAXPROCS       int          `json:"gomaxprocs,omitempty"`
 	TotalWallSeconds float64      `json:"total_wall_seconds"`
 	Experiments      []benchEntry `json:"experiments"`
 }
@@ -111,8 +112,40 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&ff.repros, "fault-repros", "", "save shrunk counterexample artifacts under this directory")
 	fs.IntVar(&ff.shrink, "fault-shrink", 0, "shrink budget (replays per counterexample; 0 = default)")
 	fs.StringVar(&ff.replay, "fault-replay", "", "replay a saved counterexample artifact and confirm it still violates")
+	var df desFlags
+	fs.BoolVar(&df.run, "des", false, "run the discrete-event message-passing sweep (steps vs n at n up to 100k)")
+	fs.StringVar(&df.jsonOut, "des-json", "", "write the DES sweep's JSON record to this path")
+	fs.StringVar(&df.ns, "des-n", "", "comma-separated process counts for the DES sweep (default 1000,10000,100000)")
+	fs.StringVar(&df.protocols, "des-protocols", "", "comma-separated DES protocols (default sifter,sifter-half,priority-max)")
+	fs.IntVar(&df.trials, "des-trials", 0, "trials per DES configuration (0 = default 5)")
+	fs.StringVar(&df.latency, "des-latency", "", "DES latency distribution kind:mean, kinds fixed|uniform|exp (default exp:1ms)")
+	fs.Float64Var(&df.loss, "des-loss", 0, "DES per-message loss probability in [0, 0.99]")
+	fs.StringVar(&df.partitions, "des-partition", "", "comma-separated DES partitions from:until:frac (e.g. 5ms:25ms:0.3)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if df.active() {
+		// DES mode is its own run shape, exactly like fault mode: reject
+		// every contradictory combination before any trial executes.
+		if ff.active() {
+			return fmt.Errorf("des flags cannot be combined with -fault flags: the DES models message loss and partitions, the fault sweep models faulty shared memory")
+		}
+		if *benchOut != "" || *benchBaseline != "" || *benchConcOut != "" || *benchConcBaseline != "" {
+			return fmt.Errorf("des flags cannot be combined with -bench-json/-bench-baseline/-bench-concurrent-json/-bench-concurrent-baseline: those records measure the shared-memory simulators")
+		}
+		if *expID != "" || *all || *list {
+			return fmt.Errorf("des flags cannot be combined with -experiment/-all/-list (the curated DES sweep runs as experiment E18)")
+		}
+		switch *format {
+		case "text", "markdown", "tsv":
+		default:
+			return fmt.Errorf("unknown format %q (want text, markdown, or tsv)", *format)
+		}
+		if *trials != 0 && df.trials == 0 {
+			df.trials = *trials
+		}
+		return runDESSweep(out, &df, *seed, *format)
 	}
 
 	if ff.active() {
@@ -210,6 +243,7 @@ func run(args []string, out io.Writer) error {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 	if rec.Seed == 0 {
 		rec.Seed = 20120716 // the documented default master seed
@@ -426,6 +460,17 @@ func compareBaseline(out io.Writer, entries []benchEntry, path, prefix string) e
 	var base benchRecord
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parsing bench baseline %s: %w", path, err)
+	}
+	// steps/s is a property of the measuring host: a record taken on a
+	// 1-CPU runner says nothing about a 16-core laptop, and gating on the
+	// comparison would pass or fail meaninglessly. Skip (loudly) when the
+	// host shape differs from the record's; a zero field means an older
+	// record that never captured the value, which can't be checked.
+	if (base.NumCPU != 0 && base.NumCPU != runtime.NumCPU()) ||
+		(base.GOMAXPROCS != 0 && base.GOMAXPROCS != runtime.GOMAXPROCS(0)) {
+		fmt.Fprintf(out, "bench-baseline: skipping %s: baseline host (num_cpu=%d, gomaxprocs=%d) does not match this host (num_cpu=%d, gomaxprocs=%d); steps/s are not comparable across hosts\n",
+			path, base.NumCPU, base.GOMAXPROCS, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+		return nil
 	}
 	baseline := make(map[string]benchEntry, len(base.Experiments))
 	for _, e := range base.Experiments {

@@ -1,0 +1,60 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDESNetworkSchedule drives the engine across the (latency
+// distribution, loss rate, partition spec, protocol, seed) space and
+// asserts the two properties every admissible network must preserve: the
+// safety monitors stay quiet, and the run terminates. Inputs are clamped
+// into the admissible region (loss below 1, partitions that heal) —
+// outside it nontermination is expected, not a bug.
+func FuzzDESNetworkSchedule(f *testing.F) {
+	f.Add(uint64(1), uint8(0), 0.0, uint32(0), uint32(0), 0.0, uint8(0))
+	f.Add(uint64(2), uint8(2), 0.3, uint32(2), uint32(30), 0.5, uint8(1))
+	f.Add(uint64(3), uint8(1), 0.9, uint32(0), uint32(100), 1.0, uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, latKind uint8, loss float64,
+		partFromMs, partLenMs uint32, partFrac float64, protoIdx uint8) {
+		protocol := Protocols()[int(protoIdx)%len(Protocols())]
+		cfg := Config{
+			N:        16,
+			Protocol: protocol,
+			Seed:     seed,
+			Net: NetConfig{
+				Latency: LatencyDist{Kind: LatencyKind(latKind % 3), Mean: time.Millisecond},
+			},
+			// A generous but finite budget: admissible configurations at
+			// n=16 need a tiny fraction of this.
+			MaxEvents: 1 << 22,
+		}
+		// Clamp loss into [0, 0.9]: recovery from extreme loss is still
+		// almost-sure but the tail grows without bound as loss approaches
+		// 1, and fuzzing wants bounded runtimes.
+		if loss == loss && loss > 0 { // NaN-guard, then clamp
+			if loss > 0.9 {
+				loss = 0.9
+			}
+			cfg.Net.Loss = loss
+		}
+		if partFrac == partFrac && partFrac > 0 && partLenMs > 0 {
+			if partFrac > 1 {
+				partFrac = 1
+			}
+			from := time.Duration(partFromMs%1000) * time.Millisecond
+			length := time.Duration(partLenMs%1000+1) * time.Millisecond
+			cfg.Net.Partitions = []Partition{{From: from, Until: from + length, Frac: partFrac}}
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("admissible network config failed to terminate: %v (cfg %+v)", err, cfg)
+		}
+		if !res.AllDecided {
+			t.Fatalf("terminated without all processes deciding: %+v", res)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("safety violations under %+v: %v", cfg.Net, res.Violations)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package des
+
+import (
+	"math"
+
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// serverID is the memory server's node id. Processes are 0..n-1.
+const serverID int32 = -1
+
+// activePartition is a Partition resolved against a concrete n: the cut
+// isolates ids in [lowID, n) during [from, until).
+type activePartition struct {
+	from, until int64 // virtual ns
+	lowID       int32
+}
+
+// network routes messages: partition check, then loss, then a latency
+// sample, all drawn from the network's own RNG fork in event order —
+// deterministic, and independent of every protocol coin flip.
+type network struct {
+	rng    *xrand.Rand
+	kind   LatencyKind
+	meanNs float64
+	loss   float64
+	parts  []activePartition
+	// lossy reports whether any message can fail to arrive; it gates the
+	// retransmission machinery so clean runs schedule no timers at all.
+	lossy bool
+
+	sent, delivered, dropped, blocked int64
+}
+
+func newNetwork(cfg NetConfig, n int, rng *xrand.Rand) *network {
+	nw := &network{
+		rng:    rng,
+		kind:   cfg.Latency.Kind,
+		meanNs: float64(cfg.Latency.Mean.Nanoseconds()),
+		loss:   cfg.Loss,
+		lossy:  cfg.Loss > 0 || len(cfg.Partitions) > 0,
+	}
+	for _, p := range cfg.Partitions {
+		iso := int(math.Ceil(p.Frac * float64(n)))
+		if iso > n {
+			iso = n
+		}
+		nw.parts = append(nw.parts, activePartition{
+			from:  p.From.Nanoseconds(),
+			until: p.Until.Nanoseconds(),
+			lowID: int32(n - iso),
+		})
+	}
+	return nw
+}
+
+// isolated reports whether node id is cut off at virtual time now. The
+// server (id < 0) is never isolated.
+func (nw *network) isolated(now int64, id int32) bool {
+	if id < 0 {
+		return false
+	}
+	for _, p := range nw.parts {
+		if now >= p.from && now < p.until && id >= p.lowID {
+			return true
+		}
+	}
+	return false
+}
+
+// send routes one message from `from` to `to`, scheduling its delivery
+// or discarding it. Partition and loss are decided at send time — the
+// network model has no in-flight queues to partition retroactively.
+func (nw *network) send(q *eventQueue, now int64, from, to int32, m message) {
+	nw.sent++
+	if len(nw.parts) > 0 && (nw.isolated(now, from) || nw.isolated(now, to)) {
+		nw.blocked++
+		return
+	}
+	if nw.loss > 0 && nw.rng.Bernoulli(nw.loss) {
+		nw.dropped++
+		return
+	}
+	nw.delivered++
+	q.push(now+nw.latency(), to, evDeliver, m)
+}
+
+// latency samples one one-way delay in nanoseconds.
+func (nw *network) latency() int64 {
+	switch nw.kind {
+	case LatUniform:
+		return int64(nw.rng.Float64() * 2 * nw.meanNs)
+	case LatExp:
+		// Inverse CDF; Float64 is in [0, 1) so the argument of Log stays
+		// positive.
+		return int64(-nw.meanNs * math.Log(1-nw.rng.Float64()))
+	default:
+		return int64(nw.meanNs)
+	}
+}

@@ -1,0 +1,433 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/oblivious-consensus/conciliator/internal/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/fault"
+	"github.com/oblivious-consensus/conciliator/internal/persona"
+	"github.com/oblivious-consensus/conciliator/internal/stats"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// pcState is where a process's state machine is parked while it waits
+// for the reply to its outstanding operation. Every transition consumes
+// exactly one reply and issues at most one new request; there are no
+// goroutines and no blocking.
+type pcState uint8
+
+const (
+	// Conciliator states.
+	pcSiftOp    pcState = iota // sifter: the round's single write-or-read
+	pcPrioWrite                // priority-max: WriteMax of this round
+	pcPrioRead                 // priority-max: ReadMax of this round
+
+	// Adopt-commit states (the binary RegisterAC ported op by op; see
+	// adoptcommit.RegisterAC and FlagsCD for the shared-memory original).
+	pcACFlagWrite      // writing own conflict-detector flag
+	pcACFlagRead       // reading the other flag
+	pcACDirtyWrite     // conflict path: marking dirty
+	pcACCleanReadAdopt // conflict path: reading clean to adopt
+	pcACCleanWrite     // clean path: writing clean
+	pcACDirtyRead      // clean path: checking dirty
+	pcACCleanRead      // clean path: re-reading clean
+
+	pcDone // decided
+)
+
+// proc is one process's explicit state machine.
+type proc struct {
+	id    int32
+	rng   xrand.Rand
+	input int
+
+	prefer int // current phase's preference
+	pers   *persona.Persona[int]
+	phase  int32
+	round  int32
+	pc     pcState
+
+	acIn       int
+	acConflict bool
+
+	// Stop-and-wait RPC state.
+	opSeq   uint32
+	await   bool
+	req     message
+	rto     int64
+	steps   int64
+	retrans int64
+
+	decided  bool
+	decision int
+}
+
+// runner holds one run's entire state.
+type runner struct {
+	cfg     Config
+	q       eventQueue
+	net     *network
+	srv     *server
+	mon     *fault.Monitor
+	procs   []proc
+	rounds  int
+	persCfg persona.Config
+	now     int64
+	decided int
+	events  int64
+	rto0    int64
+	rtoCap  int64
+	// overflowed is set when a process exceeds the phase budget; the
+	// main loop converts it to a run error.
+	overflowed *proc
+}
+
+// sifterHalfRounds is the round count of the constant-p = 1/2 sifter
+// baseline: survivors halve in expectation each round, so Theta(log n)
+// rounds drive the survivor bound through the same epsilon tail the
+// tuned schedule uses (compare conciliator.SifterRounds, which needs
+// only log log n for the same tail).
+func sifterHalfRounds(n int, epsilon float64) int {
+	r := stats.CeilLog2(n) + stats.CeilLogBase(4.0/3.0, 8/epsilon)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// protocolRounds returns the conciliator rounds per phase and the
+// persona configuration (how much randomness each persona pre-draws) for
+// a protocol.
+func protocolRounds(protocol string, n int, epsilon float64) (int, persona.Config) {
+	switch protocol {
+	case ProtoSifter:
+		r := conciliator.SifterRounds(n, epsilon)
+		return r, persona.Config{WriteProbs: conciliator.SifterProbs(n, r)}
+	case ProtoSifterHalf:
+		r := sifterHalfRounds(n, epsilon)
+		probs := make([]float64, r)
+		for i := range probs {
+			probs[i] = 0.5
+		}
+		return r, persona.Config{WriteProbs: probs}
+	case ProtoPriorityMax:
+		r := conciliator.PriorityRounds(n, epsilon)
+		// Priorities use the paper's bounded range ceil(R n^2 / epsilon)
+		// rather than full-width uint64: the monitored max register's
+		// linearizability checker needs keys that fit in int64, and the
+		// bounded range (about 6e11 at n=100k) does with room to spare.
+		bound := uint64(math.Ceil(float64(r) * float64(n) * float64(n) / epsilon))
+		return r, persona.Config{PriorityRounds: r, PriorityBound: bound}
+	default:
+		panic("des: unknown protocol " + protocol)
+	}
+}
+
+// Run executes one discrete-event consensus run and returns its Result.
+// The error is non-nil when the run failed to terminate inside its event
+// budget (also recorded as a nontermination violation); the Result is
+// meaningful either way.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	root := xrand.New(cfg.Seed)
+	// Disjoint named forks: the network's stream is independent of every
+	// process's protocol randomness, keeping the adversary oblivious.
+	netRng := root.ForkNamed(0x4e57)  // "NET"
+	procRng := root.ForkNamed(0xa190) // per-process seed stream
+
+	mon := fault.NewMonitor()
+	rounds, persCfg := protocolRounds(cfg.Protocol, cfg.N, cfg.Epsilon)
+
+	d := &runner{
+		cfg:     cfg,
+		net:     newNetwork(cfg.Net, cfg.N, netRng),
+		srv:     newServer(cfg.N, mon),
+		mon:     mon,
+		procs:   make([]proc, cfg.N),
+		rounds:  rounds,
+		persCfg: persCfg,
+	}
+	meanNs := cfg.Net.Latency.Mean.Nanoseconds()
+	d.rto0 = 8 * meanNs
+	if d.rto0 < 1000 {
+		d.rto0 = 1000
+	}
+	d.rtoCap = 64 * d.rto0
+
+	inputs := cfg.Inputs
+	if inputs == nil {
+		inputs = make([]int, cfg.N)
+		for i := range inputs {
+			inputs[i] = i % 2
+		}
+	}
+	for i := range d.procs {
+		p := &d.procs[i]
+		p.id = int32(i)
+		p.input = inputs[i]
+		p.prefer = inputs[i]
+		procRng.ForkNamedInto(uint64(i), &p.rng)
+	}
+	// All processes wake at virtual time zero; their first requests get
+	// distinct latencies, which staggers them naturally.
+	for i := range d.procs {
+		d.startPhase(&d.procs[i])
+	}
+
+	var err error
+loop:
+	for d.decided < cfg.N {
+		ev, ok := d.q.pop()
+		if !ok {
+			mon.Report("nontermination", "event queue drained with %d of %d processes undecided", cfg.N-d.decided, cfg.N)
+			err = fmt.Errorf("des: deadlock: queue empty with %d processes undecided", cfg.N-d.decided)
+			break
+		}
+		d.events++
+		if d.events > cfg.MaxEvents {
+			mon.Report("nontermination", "event budget %d exhausted with %d of %d processes undecided", cfg.MaxEvents, cfg.N-d.decided, cfg.N)
+			err = fmt.Errorf("des: event budget %d exhausted with %d processes undecided", cfg.MaxEvents, cfg.N-d.decided)
+			break
+		}
+		d.now = ev.at
+		switch ev.kind {
+		case evDeliver:
+			if ev.to == serverID {
+				d.srv.handle(&d.q, d.net, d.now, ev.msg)
+			} else {
+				d.onReply(&d.procs[ev.to], ev.msg)
+			}
+		case evTimer:
+			d.onTimer(&d.procs[ev.to], ev.msg)
+		}
+		if perr := d.phaseOverflow(); perr != nil {
+			err = perr
+			break loop
+		}
+	}
+
+	d.srv.finish()
+	outs := make([]int, cfg.N)
+	finished := make([]bool, cfg.N)
+	steps := make([]int64, cfg.N)
+	phases := 0
+	for i := range d.procs {
+		p := &d.procs[i]
+		outs[i], finished[i], steps[i] = p.decision, p.decided, p.steps
+		if ph := int(p.phase) + 1; ph > phases {
+			phases = ph
+		}
+	}
+	mon.CheckOutcome(inputs, outs, finished)
+
+	res := Result{
+		N:             cfg.N,
+		Protocol:      cfg.Protocol,
+		Rounds:        rounds,
+		AllDecided:    d.decided == cfg.N,
+		Phases:        phases,
+		Steps:         steps,
+		MsgsSent:      d.net.sent,
+		MsgsDelivered: d.net.delivered,
+		MsgsDropped:   d.net.dropped,
+		MsgsBlocked:   d.net.blocked,
+		VirtualTime:   time.Duration(d.now) * time.Nanosecond,
+		Events:        d.events,
+		Violations:    mon.Finish(),
+	}
+	for i := range d.procs {
+		res.Retransmits += d.procs[i].retrans
+	}
+	if res.AllDecided {
+		res.Decision = outs[0]
+	}
+	return res, err
+}
+
+// phaseOverflow converts a process exceeding the phase budget (flagged
+// in finishAC) into a run error.
+func (d *runner) phaseOverflow() error {
+	if d.overflowed == nil {
+		return nil
+	}
+	p := d.overflowed
+	d.mon.Report("nontermination", "process %d exceeded the phase budget %d", p.id, d.cfg.MaxPhases)
+	return fmt.Errorf("des: process %d exceeded the phase budget %d without committing", p.id, d.cfg.MaxPhases)
+}
+
+// Object-index layout. Conciliator round objects are dense per phase;
+// adopt-commit uses four int registers per phase.
+func (d *runner) concObj(p *proc) int32 { return p.phase*int32(d.rounds) + p.round }
+
+const (
+	acFlag0 = iota
+	acFlag1
+	acClean
+	acDirty
+	acObjsPerPhase
+)
+
+func acObj(phase int32, which int) int32 { return phase*acObjsPerPhase + int32(which) }
+
+// sendReq issues a new stop-and-wait request from p (charging one step)
+// and arms the retransmission timer when the network can lose messages.
+func (d *runner) sendReq(p *proc, m message) {
+	p.opSeq++
+	m.from = p.id
+	m.opSeq = p.opSeq
+	p.req = m
+	p.await = true
+	p.steps++
+	d.net.send(&d.q, d.now, p.id, serverID, m)
+	if d.net.lossy {
+		p.rto = d.rto0
+		d.q.push(d.now+p.rto, p.id, evTimer, message{opSeq: p.opSeq})
+	}
+}
+
+// onTimer handles a retransmission timer: if the guarded operation is
+// still outstanding, resend and back off; otherwise the timer is stale.
+func (d *runner) onTimer(p *proc, m message) {
+	if !p.await || p.req.opSeq != m.opSeq {
+		return
+	}
+	p.retrans++
+	d.net.send(&d.q, d.now, p.id, serverID, p.req)
+	if p.rto < d.rtoCap {
+		p.rto *= 2
+		if p.rto > d.rtoCap {
+			p.rto = d.rtoCap
+		}
+	}
+	d.q.push(d.now+p.rto, p.id, evTimer, message{opSeq: p.req.opSeq})
+}
+
+// startPhase draws a fresh persona for the process's current preference
+// and begins the conciliator.
+func (d *runner) startPhase(p *proc) {
+	p.pers = persona.New(p.prefer, int(p.id), &p.rng, d.persCfg)
+	p.round = 0
+	d.beginRound(p)
+}
+
+// beginRound issues the first operation of conciliator round p.round, or
+// enters adopt-commit when the rounds are exhausted.
+func (d *runner) beginRound(p *proc) {
+	if int(p.round) >= d.rounds {
+		d.startAC(p)
+		return
+	}
+	obj := d.concObj(p)
+	if d.cfg.Protocol == ProtoPriorityMax {
+		p.pc = pcPrioWrite
+		d.sendReq(p, message{op: opWriteMax, obj: obj, key: p.pers.Priority(int(p.round)), pers: p.pers})
+		return
+	}
+	// Sifter round: one write (pre-drawn bit set) or one read-and-adopt.
+	p.pc = pcSiftOp
+	if p.pers.WriteBit(int(p.round)) {
+		d.sendReq(p, message{op: opWriteP, obj: obj, pers: p.pers})
+	} else {
+		d.sendReq(p, message{op: opReadP, obj: obj})
+	}
+}
+
+// startAC begins the binary adopt-commit Propose for the conciliator's
+// output value.
+func (d *runner) startAC(p *proc) {
+	p.acIn = p.pers.Value()
+	d.mon.ObserveACPropose(int(p.phase), int(p.id), p.acIn)
+	p.pc = pcACFlagWrite
+	d.sendReq(p, message{op: opWriteV, obj: acObj(p.phase, acFlag0+p.acIn), val: 1})
+}
+
+// onReply advances p's state machine by one reply. Stale or duplicate
+// replies (sequence mismatch) are ignored; the state machine only ever
+// moves on the reply it is waiting for.
+func (d *runner) onReply(p *proc, m message) {
+	if !p.await || m.opSeq != p.opSeq || p.decided {
+		return
+	}
+	p.await = false
+	v := p.acIn
+	switch p.pc {
+	case pcSiftOp:
+		if m.op == opReadP && m.ok {
+			p.pers = m.pers
+		}
+		p.round++
+		d.beginRound(p)
+
+	case pcPrioWrite:
+		p.pc = pcPrioRead
+		d.sendReq(p, message{op: opReadMax, obj: d.concObj(p)})
+	case pcPrioRead:
+		if m.ok {
+			p.pers = m.pers
+		}
+		p.round++
+		d.beginRound(p)
+
+	case pcACFlagWrite:
+		p.pc = pcACFlagRead
+		d.sendReq(p, message{op: opReadV, obj: acObj(p.phase, acFlag0+(1-v))})
+	case pcACFlagRead:
+		if m.ok {
+			// Conflict: announce dirty before looking at clean.
+			p.pc = pcACDirtyWrite
+			d.sendReq(p, message{op: opWriteV, obj: acObj(p.phase, acDirty), val: 1})
+		} else {
+			p.pc = pcACCleanWrite
+			d.sendReq(p, message{op: opWriteV, obj: acObj(p.phase, acClean), val: int32(v)})
+		}
+	case pcACDirtyWrite:
+		p.pc = pcACCleanReadAdopt
+		d.sendReq(p, message{op: opReadV, obj: acObj(p.phase, acClean)})
+	case pcACCleanReadAdopt:
+		out := v
+		if m.ok {
+			out = int(m.val)
+		}
+		d.finishAC(p, out, false)
+	case pcACCleanWrite:
+		p.pc = pcACDirtyRead
+		d.sendReq(p, message{op: opReadV, obj: acObj(p.phase, acDirty)})
+	case pcACDirtyRead:
+		p.acConflict = m.ok
+		p.pc = pcACCleanRead
+		d.sendReq(p, message{op: opReadV, obj: acObj(p.phase, acClean)})
+	case pcACCleanRead:
+		w := int(m.val) // own clean write guarantees presence
+		if p.acConflict || w != v {
+			d.finishAC(p, w, false)
+		} else {
+			d.finishAC(p, v, true)
+		}
+	}
+}
+
+// finishAC completes the phase's adopt-commit: commit decides, adopt
+// carries the returned value into the next phase.
+func (d *runner) finishAC(p *proc, out int, commit bool) {
+	d.mon.ObserveAC(int(p.phase), int(p.id), p.acIn, out, commit)
+	if commit {
+		p.decided = true
+		p.decision = out
+		p.pc = pcDone
+		d.decided++
+		return
+	}
+	p.prefer = out
+	p.phase++
+	if int(p.phase) >= d.cfg.MaxPhases {
+		d.overflowed = p
+		return
+	}
+	d.startPhase(p)
+}

@@ -1,0 +1,154 @@
+package des
+
+import (
+	"github.com/oblivious-consensus/conciliator/internal/fault"
+	"github.com/oblivious-consensus/conciliator/internal/memory"
+	"github.com/oblivious-consensus/conciliator/internal/persona"
+)
+
+// opKind names the shared-memory operations the server understands. The
+// object space is three pools, addressed by (pool implied by op, index):
+//
+//   - persona registers (sifter round registers),
+//   - persona max registers (priority-max round registers), and
+//   - int registers (adopt-commit flags, clean, dirty — presence doubles
+//     as the flag bit).
+type opKind uint8
+
+const (
+	opWriteP opKind = iota // persona register write
+	opReadP                // persona register read
+	opWriteMax             // max register WriteMax(key, persona)
+	opReadMax              // max register ReadMax
+	opWriteV               // int register write
+	opReadV                // int register read
+)
+
+// message is both RPC request and reply (reply=true echoes the request's
+// op and opSeq with the result fields filled in). It is carried by value
+// inside events.
+type message struct {
+	op    opKind
+	reply bool
+	from  int32 // requesting process id
+	opSeq uint32
+	obj   int32
+	key   uint64
+	val   int32
+	ok    bool
+	pers  *persona.Persona[int]
+}
+
+// opCtx is the memory.Context under which the server applies operations:
+// free (steps are accounted at the client as RPC round trips), exclusive
+// (the engine is single-threaded, so the objects' direct representation
+// is safe), and carrying the originating process id so the fault
+// monitors attribute observations correctly.
+type opCtx struct{ pid int }
+
+func (opCtx) Step()           {}
+func (opCtx) Exclusive() bool { return true }
+func (c opCtx) ID() int       { return c.pid }
+
+// server is the memory node: it owns every shared object and applies
+// each logical operation exactly once. Clients are stop-and-wait with
+// per-process operation sequence numbers, so dedup needs only the last
+// applied sequence and its reply per process: a request with the same
+// sequence is a retransmission (re-send the cached reply — the first
+// reply may have been lost), anything older is a stale duplicate to
+// drop, and exactly lastSeq+1 is new work.
+type server struct {
+	persRegs []*memory.Register[*persona.Persona[int]]
+	maxRegs  []*fault.MonitoredMaxer[*persona.Persona[int]]
+	intRegs  []*memory.Register[int]
+	mon      *fault.Monitor
+
+	lastSeq  []uint32
+	lastRep  []message
+	applied  int64
+	dupDrops int64
+}
+
+func newServer(n int, mon *fault.Monitor) *server {
+	return &server{
+		mon:     mon,
+		lastSeq: make([]uint32, n),
+		lastRep: make([]message, n),
+	}
+}
+
+func (s *server) persReg(i int32) *memory.Register[*persona.Persona[int]] {
+	for int(i) >= len(s.persRegs) {
+		s.persRegs = append(s.persRegs, memory.NewRegister[*persona.Persona[int]]())
+	}
+	return s.persRegs[i]
+}
+
+func (s *server) maxReg(i int32) *fault.MonitoredMaxer[*persona.Persona[int]] {
+	for int(i) >= len(s.maxRegs) {
+		s.maxRegs = append(s.maxRegs,
+			fault.NewMonitoredMaxer[*persona.Persona[int]](memory.NewMaxRegister[*persona.Persona[int]](), s.mon))
+	}
+	return s.maxRegs[i]
+}
+
+func (s *server) intReg(i int32) *memory.Register[int] {
+	for int(i) >= len(s.intRegs) {
+		s.intRegs = append(s.intRegs, memory.NewRegister[int]())
+	}
+	return s.intRegs[i]
+}
+
+// handle processes one incoming request and routes the reply back
+// through the network.
+func (s *server) handle(q *eventQueue, nw *network, now int64, m message) {
+	last := s.lastSeq[m.from]
+	switch {
+	case m.opSeq == last:
+		// Retransmitted request whose reply may have been lost.
+		s.dupDrops++
+		nw.send(q, now, serverID, m.from, s.lastRep[m.from])
+		return
+	case m.opSeq != last+1:
+		// A duplicate older than the client's current operation; its
+		// reply was already consumed. Drop.
+		s.dupDrops++
+		return
+	}
+	reply := s.apply(m)
+	s.lastSeq[m.from] = m.opSeq
+	s.lastRep[m.from] = reply
+	s.applied++
+	nw.send(q, now, serverID, m.from, reply)
+}
+
+// apply executes one logical operation against the shared objects.
+func (s *server) apply(m message) message {
+	ctx := opCtx{pid: int(m.from)}
+	r := message{op: m.op, reply: true, from: m.from, opSeq: m.opSeq, obj: m.obj}
+	switch m.op {
+	case opWriteP:
+		s.persReg(m.obj).Write(ctx, m.pers)
+	case opReadP:
+		r.pers, r.ok = s.persReg(m.obj).Read(ctx)
+	case opWriteMax:
+		s.maxReg(m.obj).WriteMax(ctx, m.key, m.pers)
+	case opReadMax:
+		r.key, r.pers, r.ok = s.maxReg(m.obj).ReadMax(ctx)
+	case opWriteV:
+		s.intReg(m.obj).Write(ctx, int(m.val))
+	case opReadV:
+		var v int
+		v, r.ok = s.intReg(m.obj).Read(ctx)
+		r.val = int32(v)
+	}
+	return r
+}
+
+// finish runs the per-object linearizability checks of the monitored max
+// registers.
+func (s *server) finish() {
+	for _, m := range s.maxRegs {
+		m.Finish()
+	}
+}

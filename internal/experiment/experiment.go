@@ -102,6 +102,7 @@ func All() []Experiment {
 		e15Substrate(),
 		e16EpsilonNecessity(),
 		e17FaultSweep(),
+		e18DES(),
 	}
 }
 

@@ -30,6 +30,7 @@ func TestGoldenTables(t *testing.T) {
 		{id: "E7", parallel: 2},
 		{id: "E8", parallel: 4},
 		{id: "E17", parallel: 5}, // fault sweep: faulted runs must replay byte-identically too
+		{id: "E18", parallel: 3}, // DES: virtual-time runs must replay byte-identically
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -92,17 +92,27 @@ func Quantiles(xs []float64, qs ...float64) []float64 {
 
 // sortedQuantile is nearest-rank on an already-sorted sample.
 func sortedQuantile(sorted []float64, q float64) float64 {
-	if q <= 0 {
-		return sorted[0]
+	return sorted[nearestRank(q, int64(len(sorted)))-1]
+}
+
+// nearestRank returns the 1-based nearest-rank ceil(q*n) for a sample of
+// size n, clamped to [1, n]. The product q*n is guarded against float
+// rounding before the ceiling: 0.1*10 evaluates to 1.0000000000000002 in
+// IEEE doubles, and a naive ceil would silently shift the rank from 1 to
+// 2 (and the p10 of ten samples from the minimum to the second element).
+// The relative guard of one part in 10^12 is orders of magnitude above
+// the few-ulp error of the product and orders of magnitude below any
+// legitimate fractional part 1/n of a realistic sample.
+func nearestRank(q float64, n int64) int64 {
+	r := q * float64(n)
+	rank := int64(math.Ceil(r - r*1e-12))
+	if rank < 1 {
+		rank = 1
 	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
+	if rank > n {
+		rank = n
 	}
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return sorted[idx]
+	return rank
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using nearest-rank
@@ -110,6 +120,34 @@ func sortedQuantile(sorted []float64, q float64) float64 {
 // quantiles of one sample should use Quantiles, which sorts once.
 func Quantile(xs []float64, q float64) float64 {
 	return Quantiles(xs, q)[0]
+}
+
+// QuantileCI returns the nearest-rank q-quantile of xs together with a
+// ~95% confidence interval [lo, hi] from order statistics: the sample
+// values at ranks ceil(q n) ∓ ceil(1.96 sqrt(n q (1-q))), the normal
+// approximation to the binomial rank interval, clamped to the sample.
+// Unlike the Wald interval on a mean, this is distribution-free — exactly
+// what tail quantiles of step counts need. An empty sample returns zeros.
+func QuantileCI(xs []float64, q float64) (v, lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	n := int64(len(cp))
+	rank := nearestRank(q, n)
+	delta := int64(math.Ceil(1.96 * math.Sqrt(float64(n)*q*(1-q))))
+	clamp := func(r int64) int64 {
+		if r < 1 {
+			return 1
+		}
+		if r > n {
+			return n
+		}
+		return r
+	}
+	return cp[rank-1], cp[clamp(rank-delta)-1], cp[clamp(rank+delta)-1]
 }
 
 // Proportion returns the fraction of true values and the half-width of its
@@ -138,13 +176,7 @@ func BucketQuantile(uppers, counts []int64, q float64) int64 {
 	if total == 0 || len(uppers) == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > total {
-		rank = total
-	}
+	rank := nearestRank(q, total)
 	var cum int64
 	for i, c := range counts {
 		cum += c

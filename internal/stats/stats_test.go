@@ -254,3 +254,126 @@ func TestQuantilesEmpty(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantilesExactRanks pins the exact nearest-rank element for every
+// edge the experiment tables lean on: q=0 and q=1, single-element
+// samples, ranks that land exactly on an integer (where float rounding
+// of q*n used to shift the rank by one — 0.1*10 evaluates to
+// 1.0000000000000002 in IEEE doubles), and unsorted query lists. The
+// samples are permutations of 1..n, so the nearest-rank q-quantile is
+// simply the rank itself: ceil(q*n).
+func TestQuantilesExactRanks(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64 // = expected rank ceil(q*n)
+	}{
+		{"q=0 is the minimum", []float64{3, 1, 2}, 0, 1},
+		{"q=1 is the maximum", []float64{3, 1, 2}, 1, 3},
+		{"single element q=0", []float64{7}, 0, 7},
+		{"single element q=0.5", []float64{7}, 0.5, 7},
+		{"single element q=1", []float64{7}, 1, 7},
+		{"p10 of 10 is rank 1", []float64{9, 1, 4, 7, 3, 8, 2, 6, 5, 10}, 0.1, 1},
+		{"p20 of 10 is rank 2", []float64{9, 1, 4, 7, 3, 8, 2, 6, 5, 10}, 0.2, 2},
+		{"p30 of 10 is rank 3", []float64{9, 1, 4, 7, 3, 8, 2, 6, 5, 10}, 0.3, 3},
+		{"p50 of 10 is rank 5", []float64{9, 1, 4, 7, 3, 8, 2, 6, 5, 10}, 0.5, 5},
+		{"p70 of 10 is rank 7", []float64{9, 1, 4, 7, 3, 8, 2, 6, 5, 10}, 0.7, 7},
+		{"p90 of 10 is rank 9", []float64{9, 1, 4, 7, 3, 8, 2, 6, 5, 10}, 0.9, 9},
+		{"p99 of 10 is rank 10", []float64{9, 1, 4, 7, 3, 8, 2, 6, 5, 10}, 0.99, 10},
+		{"p25 of 4 is rank 1", []float64{4, 2, 1, 3}, 0.25, 1},
+		{"p50 of 4 is rank 2", []float64{4, 2, 1, 3}, 0.5, 2},
+		{"p75 of 4 is rank 3", []float64{4, 2, 1, 3}, 0.75, 3},
+		{"p50 of 5 is rank 3", []float64{5, 1, 4, 2, 3}, 0.5, 3},
+		{"p40 of 5 is rank 2", []float64{5, 1, 4, 2, 3}, 0.4, 2},
+		{"fractional rank rounds up", []float64{5, 1, 4, 2, 3}, 0.41, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Quantile(tt.xs, tt.q); got != tt.want {
+				t.Errorf("Quantile(%v, %v) = %v, want rank %v", tt.xs, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestQuantilesExactRanksLarge sweeps every integer-landing rank of a
+// 100-element sample: ceil(k/100 * 100) must be exactly k for every k.
+func TestQuantilesExactRanksLarge(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(100 - i) // reverse order: sorting must happen
+	}
+	for k := 1; k <= 100; k++ {
+		q := float64(k) / 100
+		if got := Quantile(xs, q); got != float64(k) {
+			t.Errorf("Quantile(1..100, %v) = %v, want %v", q, got, k)
+		}
+	}
+}
+
+// TestQuantilesUnsortedQs confirms query quantiles need not be sorted
+// (each is computed independently against the one sorted sample).
+func TestQuantilesUnsortedQs(t *testing.T) {
+	xs := []float64{9, 1, 4, 7, 3, 8, 2, 6, 5, 10}
+	got := Quantiles(xs, 0.9, 0.1, 1, 0, 0.5)
+	want := []float64{9, 1, 10, 1, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantiles unsorted qs[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBucketQuantileExactRanks pins the same float-rounding edge in the
+// histogram variant: rank ceil(0.1*10) must be 1, not 2.
+func TestBucketQuantileExactRanks(t *testing.T) {
+	uppers := []int64{1, 2, 4, 8}
+	counts := []int64{1, 4, 4, 1} // cumulative 1, 5, 9, 10
+	tests := []struct {
+		q    float64
+		want int64
+	}{
+		{0.1, 1}, {0.2, 2}, {0.5, 2}, {0.9, 4}, {0.91, 8}, {1, 8}, {0, 1},
+	}
+	for _, tt := range tests {
+		if got := BucketQuantile(uppers, counts, tt.q); got != tt.want {
+			t.Errorf("BucketQuantile(q=%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileCI(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	v, lo, hi := QuantileCI(xs, 0.5)
+	if v != 50 {
+		t.Errorf("QuantileCI value = %v, want 50", v)
+	}
+	// delta = ceil(1.96*sqrt(100*0.25)) = 10 ranks.
+	if lo != 40 || hi != 60 {
+		t.Errorf("QuantileCI bounds = [%v, %v], want [40, 60]", lo, hi)
+	}
+	if lo > v || v > hi {
+		t.Errorf("CI does not bracket the value: %v not in [%v, %v]", v, lo, hi)
+	}
+
+	// Tail quantile: bounds clamp to the sample.
+	v, lo, hi = QuantileCI(xs, 0.99)
+	if v != 99 || hi != 100 {
+		t.Errorf("p99 = %v hi = %v, want 99 and 100", v, hi)
+	}
+	if lo > v {
+		t.Errorf("p99 lo %v above value %v", lo, v)
+	}
+
+	// Single element and empty samples degrade gracefully.
+	if v, lo, hi = QuantileCI([]float64{7}, 0.5); v != 7 || lo != 7 || hi != 7 {
+		t.Errorf("single-element CI = (%v, %v, %v)", v, lo, hi)
+	}
+	if v, lo, hi = QuantileCI(nil, 0.5); v != 0 || lo != 0 || hi != 0 {
+		t.Errorf("empty CI = (%v, %v, %v)", v, lo, hi)
+	}
+}
