@@ -112,6 +112,14 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&ff.repros, "fault-repros", "", "save shrunk counterexample artifacts under this directory")
 	fs.IntVar(&ff.shrink, "fault-shrink", 0, "shrink budget (replays per counterexample; 0 = default)")
 	fs.StringVar(&ff.replay, "fault-replay", "", "replay a saved counterexample artifact and confirm it still violates")
+	var af attackFlags
+	fs.StringVar(&af.spec, "attack", "", "run the oblivious adversary search over these protocols (comma-separated: all, sifter, priority)")
+	fs.StringVar(&af.jsonOut, "attack-json", "", "write an attack-record/v1 artifact per searched protocol (multi-protocol runs insert _<protocol> before the extension)")
+	fs.StringVar(&af.replay, "attack-replay", "", "replay a committed attack-record/v1 artifact and verify it regenerates byte-identically")
+	fs.IntVar(&af.n, "attack-n", 0, "processes per searched schedule (0 = default 8, quick 4)")
+	fs.IntVar(&af.budget, "attack-budget", 0, "candidate evaluations per search (0 = default 64, quick 16)")
+	fs.IntVar(&af.trials, "attack-trials", 0, "trials per candidate evaluation (0 = default 4, quick 2)")
+	fs.BoolVar(&af.faults, "attack-faults", false, "let the search add stutter/stall fault-schedule components to candidates")
 	var df desFlags
 	fs.BoolVar(&df.run, "des", false, "run the discrete-event message-passing sweep (steps vs n at n up to 100k)")
 	fs.StringVar(&df.jsonOut, "des-json", "", "write the DES sweep's JSON record to this path")
@@ -123,6 +131,36 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&df.partitions, "des-partition", "", "comma-separated DES partitions from:until:frac (e.g. 5ms:25ms:0.3)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if af.active() {
+		// Attack mode is its own run shape, exactly like fault and DES
+		// mode: reject every contradictory combination before any
+		// evaluation executes.
+		if df.active() {
+			return fmt.Errorf("attack flags cannot be combined with -des flags: the search drives the shared-memory simulator, not the message-passing DES")
+		}
+		if ff.active() {
+			return fmt.Errorf("attack flags cannot be combined with -fault flags: the search owns its fault components (-attack-faults); the fault sweep is a separate mode")
+		}
+		if *benchOut != "" || *benchBaseline != "" || *benchConcOut != "" || *benchConcBaseline != "" {
+			return fmt.Errorf("attack flags cannot be combined with -bench-json/-bench-baseline/-bench-concurrent-json/-bench-concurrent-baseline: searched schedules measure adversarial damage, not throughput")
+		}
+		if *expID != "" || *all || *list {
+			return fmt.Errorf("attack flags cannot be combined with -experiment/-all/-list (the curated search runs as experiment E19)")
+		}
+		switch *format {
+		case "text", "markdown", "tsv":
+		default:
+			return fmt.Errorf("unknown format %q (want text, markdown, or tsv)", *format)
+		}
+		if _, err := af.validate(); err != nil {
+			return err
+		}
+		if af.replay != "" {
+			return runAttackReplay(out, af.replay, *parallel)
+		}
+		return runAttackSearch(out, &af, *seed, *quick, *parallel, *format)
 	}
 
 	if df.active() {

@@ -1,0 +1,375 @@
+// Package search implements an optimizing — but still oblivious —
+// adversary: a seeded evolutionary search over parameterized oblivious
+// schedule sources (skew weights, phase-reversal patterns, burst and
+// starvation segments, explicit prefix schedules) and stutter/stall
+// fault schedules, maximizing observed steps-to-agreement per protocol.
+//
+// The searcher never leaves the oblivious-adversary model of Section 1.1:
+// a candidate schedule is fixed (a pure function of the candidate genome
+// and a schedule seed) before a trial's coins are flipped, and the only
+// feedback the search loop sees is aggregate outcomes — steps, phases,
+// whether everyone decided — never coin values or register contents.
+// Optimizing over fixed schedules is exactly the quantifier in the
+// paper's theorems ("for every oblivious adversary"), so the best score
+// the search finds is a lower bound on the worst case the proofs cover,
+// and must stay below what the coin-aware white-box attacks in the
+// parent package achieve (internal/attack; pinned by tests here).
+//
+// A search run is a pure function of its Config: every random choice
+// flows through named xrand forks of Config.Seed, and parallel
+// evaluation workers only fill per-candidate slots, so results are
+// byte-identical for any Parallelism.
+package search
+
+import (
+	"fmt"
+
+	"github.com/oblivious-consensus/conciliator/internal/fault"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// Genome bounds keep every candidate cheap to evaluate: the slowest
+// process is scheduled with probability at least 1/(MaxWeight*n) per
+// weighted slot, and a full segment cycle is at most
+// MaxSegments*MaxSegmentLen slots, so runs stay far under the slot
+// budget.
+const (
+	// MaxWeight caps per-process scheduling weights.
+	MaxWeight = 64
+	// MaxPrefix caps the explicit prefix length.
+	MaxPrefix = 4096
+	// MaxSegments caps the cyclic program length.
+	MaxSegments = 12
+	// MaxSegmentLen caps one segment's slot count.
+	MaxSegmentLen = 2048
+	// MaxFaultEvents caps the fault-schedule component.
+	MaxFaultEvents = 32
+)
+
+// Segment is the serialized form of one sched.ProgramSegment.
+type Segment struct {
+	// Mode is the sched.SegmentMode name: weighted, round-robin,
+	// reverse, burst, or starve.
+	Mode string `json:"mode"`
+	// Len is the segment's slot count.
+	Len int `json:"len"`
+	// Pid is the burst target.
+	Pid int `json:"pid,omitempty"`
+	// Mask is the starve bitmask (bit i = pid i).
+	Mask uint64 `json:"mask,omitempty"`
+}
+
+// Genome is one candidate oblivious adversary: the parameters of a
+// sched.Program plus an optional stutter/stall fault schedule. It is the
+// unit of mutation, crossover, serialization, and shrinking.
+type Genome struct {
+	// N is the process count.
+	N int `json:"n"`
+	// Weights are per-process scheduling weights in [1, MaxWeight]
+	// (empty = uniform).
+	Weights []int64 `json:"weights,omitempty"`
+	// Prefix is an explicit slot sequence played before the segments.
+	Prefix []int `json:"prefix,omitempty"`
+	// Segments is the cyclic schedule program.
+	Segments []Segment `json:"segments,omitempty"`
+	// Fault is an optional fault schedule. Only Stutter and Stall events
+	// are allowed: they delay processes, which is scheduling power the
+	// oblivious adversary already has; semantic faults would weaken the
+	// memory model and crash-recovery would change the fault model, so
+	// both are out of scope for the search.
+	Fault *fault.Schedule `json:"fault,omitempty"`
+}
+
+// Clone returns a deep copy.
+func (g *Genome) Clone() *Genome {
+	cp := &Genome{N: g.N}
+	cp.Weights = append([]int64(nil), g.Weights...)
+	cp.Prefix = append([]int(nil), g.Prefix...)
+	cp.Segments = append([]Segment(nil), g.Segments...)
+	if g.Fault != nil {
+		// NewSchedule re-validates; a Genome's schedule is already valid.
+		cp.Fault, _ = fault.NewSchedule(g.Fault.N(), g.Fault.Events())
+	}
+	return cp
+}
+
+// spec maps the genome onto the sched.Program parameter space.
+func (g *Genome) spec() (sched.ProgramSpec, error) {
+	spec := sched.ProgramSpec{Weights: g.Weights, Prefix: g.Prefix}
+	for i, s := range g.Segments {
+		mode, ok := sched.SegmentModeByName(s.Mode)
+		if !ok {
+			return spec, fmt.Errorf("search: segment %d has unknown mode %q", i, s.Mode)
+		}
+		spec.Segments = append(spec.Segments, sched.ProgramSegment{
+			Mode: mode, Len: s.Len, Pid: s.Pid, Mask: s.Mask,
+		})
+	}
+	return spec, nil
+}
+
+// Validate checks the genome describes a legal, bounded oblivious
+// adversary; a malformed artifact fails here with a descriptive error
+// instead of panicking a replayer.
+func (g *Genome) Validate() error {
+	if g.N < 2 || g.N > 64 {
+		return fmt.Errorf("search: genome process count %d outside [2, 64]", g.N)
+	}
+	for i, w := range g.Weights {
+		if w < 1 || w > MaxWeight {
+			return fmt.Errorf("search: weight %d for pid %d outside [1, %d]", w, i, MaxWeight)
+		}
+	}
+	if len(g.Prefix) > MaxPrefix {
+		return fmt.Errorf("search: prefix length %d exceeds %d", len(g.Prefix), MaxPrefix)
+	}
+	if len(g.Segments) > MaxSegments {
+		return fmt.Errorf("search: %d segments exceed %d", len(g.Segments), MaxSegments)
+	}
+	for i, s := range g.Segments {
+		if s.Len > MaxSegmentLen {
+			return fmt.Errorf("search: segment %d length %d exceeds %d", i, s.Len, MaxSegmentLen)
+		}
+	}
+	spec, err := g.spec()
+	if err != nil {
+		return err
+	}
+	// sched.NewProgram owns the structural rules (coverage, masks,
+	// ranges); building a throwaway program checks them all.
+	if _, err := sched.NewProgram(g.N, spec, xrand.New(1)); err != nil {
+		return err
+	}
+	if g.Fault != nil {
+		if g.Fault.N() != g.N {
+			return fmt.Errorf("search: genome is for %d processes but its fault schedule targets %d", g.N, g.Fault.N())
+		}
+		if g.Fault.Len() > MaxFaultEvents {
+			return fmt.Errorf("search: %d fault events exceed %d", g.Fault.Len(), MaxFaultEvents)
+		}
+		if err := g.Fault.Validate(); err != nil {
+			return err
+		}
+		for i, e := range g.Fault.Events() {
+			if e.Kind != fault.Stutter && e.Kind != fault.Stall {
+				return fmt.Errorf("search: fault event %d is %s; only stutter/stall keep the adversary oblivious", i, e.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// Source materializes the genome's schedule, deterministic in seed.
+func (g *Genome) Source(seed uint64) (sched.Source, error) {
+	spec, err := g.spec()
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewProgram(g.N, spec, xrand.New(seed))
+}
+
+// segmentModes are the generator's mode choices, by name.
+var segmentModes = []string{"weighted", "round-robin", "reverse", "burst", "starve"}
+
+// randomSegment draws one segment; lengths are biased short so cyclic
+// programs mix modes within a trial.
+func randomSegment(n int, rng *xrand.Rand) Segment {
+	s := Segment{
+		Mode: segmentModes[rng.Intn(len(segmentModes))],
+		Len:  1 + rng.Intn(4*n),
+	}
+	switch s.Mode {
+	case "burst":
+		s.Pid = rng.Intn(n)
+	case "starve":
+		// Starve a random non-empty proper subset.
+		full := uint64(1)<<uint(n) - 1
+		for s.Mask == 0 || s.Mask == full {
+			s.Mask = rng.Uint64() & full
+		}
+	}
+	return s
+}
+
+// randomFault draws a small stutter/stall schedule.
+func randomFault(n int, rng *xrand.Rand) *fault.Schedule {
+	k := 1 + rng.Intn(6)
+	events := make([]fault.Event, 0, k)
+	for i := 0; i < k; i++ {
+		kind := fault.Stutter
+		if rng.Bool() {
+			kind = fault.Stall
+		}
+		events = append(events, fault.Event{
+			Kind: kind,
+			Pid:  rng.Intn(n),
+			Slot: int64(rng.Uint64n(2048)),
+			Arg:  1 + int64(rng.Uint64n(16)),
+		})
+	}
+	s, err := fault.NewSchedule(n, events)
+	if err != nil {
+		panic(err) // generated events are in range by construction
+	}
+	return s
+}
+
+// repair makes an arbitrary mutated genome legal again: it truncates
+// anything over its cap and, if the segment program still starves some
+// process forever, appends one round-robin pass so every process is
+// schedulable (sched.NewProgram's coverage rule). Deterministic.
+func (g *Genome) repair() {
+	if len(g.Prefix) > MaxPrefix {
+		g.Prefix = g.Prefix[:MaxPrefix]
+	}
+	if len(g.Segments) > MaxSegments {
+		g.Segments = g.Segments[:MaxSegments]
+	}
+	for i := range g.Segments {
+		if g.Segments[i].Len > MaxSegmentLen {
+			g.Segments[i].Len = MaxSegmentLen
+		}
+	}
+	if err := g.Validate(); err == nil {
+		return
+	}
+	if len(g.Segments) == MaxSegments {
+		g.Segments = g.Segments[:MaxSegments-1]
+	}
+	g.Segments = append(g.Segments, Segment{Mode: "round-robin", Len: g.N})
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("search: repair produced an invalid genome: %v", err))
+	}
+}
+
+// randomGenome draws a fresh candidate. faults enables the fault-schedule
+// component.
+func randomGenome(n int, rng *xrand.Rand, faults bool) *Genome {
+	g := &Genome{N: n}
+	if rng.Bool() {
+		g.Weights = make([]int64, n)
+		for i := range g.Weights {
+			g.Weights[i] = 1 + int64(rng.Uint64n(MaxWeight))
+		}
+	}
+	if rng.Intn(3) == 0 {
+		plen := 1 + rng.Intn(4*n)
+		g.Prefix = make([]int, plen)
+		for i := range g.Prefix {
+			g.Prefix[i] = rng.Intn(n)
+		}
+	}
+	segs := 1 + rng.Intn(4)
+	for i := 0; i < segs; i++ {
+		g.Segments = append(g.Segments, randomSegment(n, rng))
+	}
+	if faults && rng.Bool() {
+		g.Fault = randomFault(n, rng)
+	}
+	g.repair()
+	return g
+}
+
+// mutate applies one or two random edits and repairs the result.
+func mutate(g *Genome, rng *xrand.Rand, faults bool) *Genome {
+	c := g.Clone()
+	for edits := 1 + rng.Intn(2); edits > 0; edits-- {
+		switch op := rng.Intn(5); op {
+		case 0: // reweight one process (creating weights if uniform)
+			if c.Weights == nil {
+				c.Weights = make([]int64, c.N)
+				for i := range c.Weights {
+					c.Weights[i] = 1
+				}
+			}
+			c.Weights[rng.Intn(c.N)] = 1 + int64(rng.Uint64n(MaxWeight))
+		case 1: // replace, add, or drop a segment
+			switch {
+			case len(c.Segments) > 0 && rng.Intn(3) == 0:
+				i := rng.Intn(len(c.Segments))
+				c.Segments = append(c.Segments[:i], c.Segments[i+1:]...)
+			case len(c.Segments) < MaxSegments && rng.Bool():
+				c.Segments = append(c.Segments, randomSegment(c.N, rng))
+			case len(c.Segments) > 0:
+				c.Segments[rng.Intn(len(c.Segments))] = randomSegment(c.N, rng)
+			}
+		case 2: // resize a segment
+			if len(c.Segments) > 0 {
+				i := rng.Intn(len(c.Segments))
+				c.Segments[i].Len = 1 + rng.Intn(MaxSegmentLen)
+			}
+		case 3: // grow or cut the prefix
+			if rng.Bool() && len(c.Prefix) > 0 {
+				c.Prefix = c.Prefix[:rng.Intn(len(c.Prefix))]
+			} else {
+				add := 1 + rng.Intn(2*c.N)
+				for i := 0; i < add && len(c.Prefix) < MaxPrefix; i++ {
+					c.Prefix = append(c.Prefix, rng.Intn(c.N))
+				}
+			}
+		case 4: // perturb the fault schedule
+			if !faults {
+				continue
+			}
+			switch {
+			case c.Fault == nil:
+				c.Fault = randomFault(c.N, rng)
+			case rng.Intn(3) == 0:
+				c.Fault = nil
+			default:
+				events := c.Fault.Events()
+				if len(events) < MaxFaultEvents && rng.Bool() {
+					events = append(events, randomFault(c.N, rng).Events()...)
+					if len(events) > MaxFaultEvents {
+						events = events[:MaxFaultEvents]
+					}
+				} else if len(events) > 0 {
+					i := rng.Intn(len(events))
+					events = append(events[:i], events[i+1:]...)
+				}
+				if len(events) == 0 {
+					c.Fault = nil
+				} else {
+					c.Fault, _ = fault.NewSchedule(c.N, events)
+				}
+			}
+		}
+	}
+	c.repair()
+	return c
+}
+
+// crossover mixes two parents component-wise and repairs the child.
+func crossover(a, b *Genome, rng *xrand.Rand) *Genome {
+	c := &Genome{N: a.N}
+	if rng.Bool() {
+		c.Weights = append([]int64(nil), a.Weights...)
+	} else {
+		c.Weights = append([]int64(nil), b.Weights...)
+	}
+	if rng.Bool() {
+		c.Prefix = append([]int(nil), a.Prefix...)
+	} else {
+		c.Prefix = append([]int(nil), b.Prefix...)
+	}
+	// Segments: a's head spliced onto b's tail.
+	cutA, cutB := 0, 0
+	if len(a.Segments) > 0 {
+		cutA = rng.Intn(len(a.Segments) + 1)
+	}
+	if len(b.Segments) > 0 {
+		cutB = rng.Intn(len(b.Segments) + 1)
+	}
+	c.Segments = append(c.Segments, a.Segments[:cutA]...)
+	c.Segments = append(c.Segments, b.Segments[cutB:]...)
+	src := a
+	if rng.Bool() {
+		src = b
+	}
+	if src.Fault != nil {
+		c.Fault, _ = fault.NewSchedule(src.Fault.N(), src.Fault.Events())
+	}
+	c.repair()
+	return c
+}

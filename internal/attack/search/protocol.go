@@ -1,0 +1,91 @@
+package search
+
+import (
+	"fmt"
+
+	"github.com/oblivious-consensus/conciliator/internal/adoptcommit"
+	"github.com/oblivious-consensus/conciliator/internal/attack"
+	"github.com/oblivious-consensus/conciliator/internal/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/consensus"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+)
+
+// protocolDef is one attackable protocol stack: a consensus factory, the
+// coin-aware white-box prefix that freezes its first phase, and the
+// analytic per-phase step bound for the paper-bound comparison.
+type protocolDef struct {
+	name string
+	// build returns a fresh single-use consensus protocol.
+	build func(n int) *consensus.Protocol[int]
+	// whitebox returns the coin-aware schedule covering exactly the
+	// phase-1 conciliator (internal/attack); grafted onto a genome's
+	// program it yields an adversary strictly stronger than the genome.
+	whitebox func(n int, algSeed uint64, epsilon float64) *sched.Explicit
+	// perPhase bounds one phase's individual steps (conciliator +
+	// adopt-commit).
+	perPhase func(n int) int
+}
+
+// protocolDefs lists the searchable protocols: the paper's register
+// construction (Algorithm 2 + hash adopt-commit, Corollary 2) and
+// snapshot construction (Algorithm 1 + snapshot adopt-commit,
+// Corollary 1), matching the white-box attacks available in
+// internal/attack.
+func protocolDefs() []protocolDef {
+	return []protocolDef{
+		{
+			name:     "sifter",
+			build:    consensus.NewRegister[int],
+			whitebox: attack.SifterBitLeakSchedule,
+			perPhase: func(n int) int {
+				c := conciliator.NewSifter[int](n, conciliator.SifterConfig{Epsilon: 0.5})
+				return c.StepBound() + adoptcommit.NewHashAC[int]().StepBound()
+			},
+		},
+		{
+			name:     "priority",
+			build:    consensus.NewSnapshot[int],
+			whitebox: attack.PriorityLeakSchedule,
+			perPhase: func(n int) int {
+				c := conciliator.NewPriority[int](n, conciliator.PriorityConfig{Epsilon: 0.5})
+				return c.StepBound() + adoptcommit.NewSnapshotAC[int](n).StepBound()
+			},
+		},
+	}
+}
+
+// Protocols lists the searchable protocol names.
+func Protocols() []string {
+	defs := protocolDefs()
+	names := make([]string, len(defs))
+	for i, d := range defs {
+		names[i] = d.name
+	}
+	return names
+}
+
+// protocolByName resolves a protocol definition.
+func protocolByName(name string) (protocolDef, error) {
+	for _, d := range protocolDefs() {
+		if d.name == name {
+			return d, nil
+		}
+	}
+	return protocolDef{}, fmt.Errorf("search: unknown protocol %q (want %v)", name, Protocols())
+}
+
+// PerPhaseBound returns the analytic individual-step bound for one phase
+// of the named protocol, used by the E19 paper-bound column.
+func PerPhaseBound(protocol string, n int) (int, error) {
+	def, err := protocolByName(protocol)
+	if err != nil {
+		return 0, err
+	}
+	return def.perPhase(n), nil
+}
+
+// whitebox wraps whitebox so the attack's epsilon default is explicit at
+// the single call site.
+func (d protocolDef) whiteboxPrefix(n int, algSeed uint64) *sched.Explicit {
+	return d.whitebox(n, algSeed, 0.5)
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/oblivious-consensus/conciliator/internal/attack/search"
+)
+
+// e19AttackSearch runs the optimizing-but-oblivious adversary search
+// (internal/attack/search) against both full consensus stacks and tables
+// what the best schedule it finds actually costs, next to the friendly
+// baselines, the coin-aware white-box graft, and the paper's per-phase
+// step bound. The point of the table is the separation: searching over
+// fixed schedules — the strongest thing an oblivious adversary can do —
+// moves the needle only modestly, while the same schedule family plus
+// coin knowledge (the white-box graft) forces strictly more work. That
+// is the paper's adversary model made quantitative.
+func e19AttackSearch() Experiment {
+	return Experiment{
+		ID:    "E19",
+		Title: "Optimizing oblivious adversary: searched schedules vs the coin-aware white-box attack",
+		Claim: "Section 1.1: the adversary quantifier ranges over fixed schedules; even an optimized one leaves expected phases O(1), unlike a coin-aware adversary",
+		Run: func(p Params) []Table {
+			p = p.withDefaults()
+			n, budget, pop, evalTrials, shrink := 8, 64, 8, 4, 24
+			if p.Quick {
+				n, budget, pop, evalTrials, shrink = 4, 16, 6, 2, 8
+			}
+			confirm := p.trials(6, 16)
+
+			tbl := Table{
+				ID:    "E19",
+				Title: fmt.Sprintf("Best-found oblivious schedules vs baselines and the white-box adversary (n=%d, budget=%d evaluations)", n, budget),
+				Columns: []string{
+					"protocol", "round-robin steps", "random steps",
+					"best oblivious steps", "white-box steps",
+					"phases best/wb", "per-phase bound",
+				},
+				Notes: []string{
+					"Steps are mean max individual steps to decision over " +
+						"fresh confirmation seeds, not the seeds the search " +
+						"optimized on. The white-box column grafts the phase-1 " +
+						"coin-aware freeze (internal/attack) onto the winner's " +
+						"own schedule, so it can do everything the winner does " +
+						"plus read the coins: best oblivious <= white-box is " +
+						"the model separation, pinned by tests.",
+					"The per-phase bound column is the analytic worst-case " +
+						"individual steps of one phase (conciliator + " +
+						"adopt-commit); an oblivious adversary only gets O(1) " +
+						"expected phases no matter how its schedule was chosen.",
+				},
+			}
+			for _, protocol := range search.Protocols() {
+				res, err := search.Search(search.Config{
+					Protocol:      protocol,
+					N:             n,
+					Seed:          p.Seed + 19,
+					Budget:        budget,
+					Pop:           pop,
+					EvalTrials:    evalTrials,
+					ConfirmTrials: confirm,
+					ShrinkBudget:  shrink,
+					Parallelism:   p.Parallelism,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("experiment: attack search failed: %v", err))
+				}
+				bound, err := search.PerPhaseBound(protocol, n)
+				if err != nil {
+					panic(fmt.Sprintf("experiment: %v", err))
+				}
+				tbl.AddRow(
+					protocol,
+					res.Baselines["round-robin"].StepsMean,
+					res.Baselines["random"].StepsMean,
+					res.Confirm.StepsMean,
+					res.WhiteBox.StepsMean,
+					fmt.Sprintf("%.1f/%.1f", res.Confirm.PhasesMean, res.WhiteBox.PhasesMean),
+					bound,
+				)
+			}
+			return []Table{tbl}
+		},
+	}
+}

@@ -103,6 +103,7 @@ func All() []Experiment {
 		e16EpsilonNecessity(),
 		e17FaultSweep(),
 		e18DES(),
+		e19AttackSearch(),
 	}
 }
 

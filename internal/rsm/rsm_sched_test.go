@@ -1,0 +1,215 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/consensus"
+	"github.com/oblivious-consensus/conciliator/internal/fault"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// kvPending builds each replica's command stream over a small shared key
+// space, so replicas genuinely contend on the same state.
+func kvPending(n, slots int, seed uint64) [][]Op {
+	rng := xrand.New(seed)
+	keys := []string{"x", "y", "z"}
+	pending := make([][]Op, n)
+	for r := 0; r < n; r++ {
+		for s := 0; s < slots; s++ {
+			pending[r] = append(pending[r], Op{
+				Kind:  OpKind(rng.Intn(3) + 1),
+				Key:   keys[rng.Intn(len(keys))],
+				Value: fmt.Sprintf("%d", rng.Intn(100)),
+			})
+		}
+	}
+	return pending
+}
+
+// TestKVConvergenceUnderSkewedSchedules drives the KV state machine under
+// heavily skewed oblivious schedules — Zipf, a single favored process,
+// and a searched-family Program mixing 16:1 weights with bursts and
+// starvation windows. However lopsided the interleaving, every replica
+// must decide the identical log and reach the identical state.
+func TestKVConvergenceUnderSkewedSchedules(t *testing.T) {
+	const (
+		n     = 4
+		slots = 8
+	)
+	program := func() sched.Source {
+		src, err := sched.NewProgram(n, sched.ProgramSpec{
+			Weights: []int64{16, 1, 1, 1},
+			Segments: []sched.ProgramSegment{
+				{Mode: sched.SegBurst, Len: 24, Pid: 0},
+				{Mode: sched.SegStarve, Len: 48, Mask: 0b0001},
+				{Mode: sched.SegWeighted, Len: 64},
+			},
+		}, xrand.New(101))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	sources := []struct {
+		name string
+		src  sched.Source
+	}{
+		{"zipf", sched.NewZipf(n, 2.0, xrand.New(43))},
+		{"favored", sched.NewFavored(n)},
+		{"program", program()},
+	}
+	for _, tc := range sources {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			log := NewLog[Op](n, consensus.NewRegister[Op])
+			pending := kvPending(n, slots, 47)
+			fps := make([]string, n)
+			logs := make([][]Op, n)
+			_, finished, _, err := sim.Collect(tc.src, sim.Config{AlgSeed: 53}, func(p *sim.Proc) struct{} {
+				r := NewReplica(p.ID(), log, NewKV())
+				logs[p.ID()] = r.Run(p, 0, pending[p.ID()])
+				fps[p.ID()] = r.Fingerprint()
+				return struct{}{}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < n; r++ {
+				if !finished[r] {
+					t.Fatalf("replica %d unfinished under %s", r, tc.name)
+				}
+				if fps[r] != fps[0] {
+					t.Fatalf("replica %d state %q != replica 0 state %q", r, fps[r], fps[0])
+				}
+				for s := 0; s < slots; s++ {
+					if logs[r][s] != logs[0][s] {
+						t.Fatalf("slot %d diverges between replicas under %s", s, tc.name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKVUnderCrashRecoverySchedule replays the KV machine through
+// crash-recovery faults: replicas lose all local state mid-run (amnesia)
+// and restart from the top, re-proposing the same commands. Agreement
+// makes re-proposal idempotent — a restarted replica's Propose on an
+// already-decided slot returns the decided command — so every finished
+// incarnation must still converge to the identical log and state.
+func TestKVUnderCrashRecoverySchedule(t *testing.T) {
+	const (
+		n     = 4
+		slots = 6
+	)
+	fs, err := fault.NewSchedule(n, []fault.Event{
+		{Kind: fault.Stutter, Pid: 0, Slot: 40, Arg: 8},
+		{Kind: fault.CrashRecover, Pid: 1, Slot: 150},
+		{Kind: fault.Stall, Pid: 3, Slot: 220, Arg: 16},
+		{Kind: fault.CrashRecover, Pid: 2, Slot: 400},
+		{Kind: fault.CrashRecover, Pid: 1, Slot: 700},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := NewLog[Op](n, consensus.NewRegister[Op])
+	pending := kvPending(n, slots, 59)
+	fps := make([]string, n)
+	logs := make([][]Op, n)
+	src := sched.NewRandom(n, xrand.New(61))
+	_, finished, res, err := sim.Collect(src, sim.Config{AlgSeed: 67, Faults: fs}, func(p *sim.Proc) struct{} {
+		r := NewReplica(p.ID(), log, NewKV())
+		logs[p.ID()] = r.Run(p, 0, pending[p.ID()])
+		fps[p.ID()] = r.Fingerprint()
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts == 0 {
+		t.Fatal("no crash-recovery restarts were delivered; the test exercised nothing")
+	}
+	for r := 0; r < n; r++ {
+		if !finished[r] {
+			t.Fatalf("replica %d never finished its final incarnation", r)
+		}
+		if fps[r] != fps[0] {
+			t.Fatalf("replica %d state %q != replica 0 state %q after restarts", r, fps[r], fps[0])
+		}
+		for s := 0; s < slots; s++ {
+			if logs[r][s] != logs[0][s] {
+				t.Fatalf("slot %d diverges after crash-recovery", s)
+			}
+		}
+	}
+}
+
+// TestKillLeaderMidOp is the kill-a-leader regression test: replica 0 —
+// the "leader" proposing the commands everyone is waiting on — is
+// permanently crashed partway through its first consensus operation
+// (cutoff 25 slots is mid-Propose: one register-model consensus op costs
+// far more than 25 steps). The surviving replicas must still decide every
+// slot, agree on the full log, and decide only values someone actually
+// proposed; a half-completed Propose must neither wedge the instance nor
+// smuggle in a phantom command.
+func TestKillLeaderMidOp(t *testing.T) {
+	const (
+		n     = 5
+		slots = 4
+	)
+	log := NewLog[string](n, consensus.NewRegister[string])
+	pending := make([][]string, n)
+	for r := 0; r < n; r++ {
+		for s := 0; s < slots; s++ {
+			pending[r] = append(pending[r], fmt.Sprintf("r%d-s%d", r, s))
+		}
+	}
+	src := sched.NewCrashSet(sched.NewRandom(n, xrand.New(71)), []int{0}, 25, 73)
+	logs := make([][]string, n)
+	_, finished, _, err := sim.Collect(src, sim.Config{AlgSeed: 79}, func(p *sim.Proc) struct{} {
+		r := NewReplica(p.ID(), log, nil)
+		logs[p.ID()] = r.Run(p, 0, pending[p.ID()])
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finished[0] {
+		t.Fatal("the crashed leader finished; the cutoff did not kill it mid-op")
+	}
+	var ref []string
+	for r := 1; r < n; r++ {
+		if !finished[r] {
+			t.Fatalf("survivor %d did not finish: the leader's half-done op wedged consensus", r)
+		}
+		if len(logs[r]) != slots {
+			t.Fatalf("survivor %d log length %d, want %d", r, len(logs[r]), slots)
+		}
+		if ref == nil {
+			ref = logs[r]
+			continue
+		}
+		for s := 0; s < slots; s++ {
+			if logs[r][s] != ref[s] {
+				t.Fatalf("slot %d diverges among survivors", s)
+			}
+		}
+	}
+	// Validity: every decided command is some replica's proposal for that
+	// slot — including possibly the dead leader's, if its writes landed
+	// before the crash, but never a value nobody proposed.
+	for s := 0; s < slots; s++ {
+		valid := false
+		for r := 0; r < n; r++ {
+			if ref[s] == pending[r][s] {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("slot %d decided phantom command %q", s, ref[s])
+		}
+	}
+}
