@@ -124,6 +124,99 @@ func benchControlledSteps(b *testing.B) {
 	}
 }
 
+// flatBenchCountdown mirrors the controlled-steps workload bodies for
+// the flat engine: a fixed number of trivial operations per process.
+type flatBenchCountdown struct {
+	steps func(pid int) int
+	left  []int
+}
+
+func (m *flatBenchCountdown) Init(pid int, _ *xrand.Rand) { m.left[pid] = m.steps(pid) }
+
+func (m *flatBenchCountdown) Step(pid int, _ *xrand.Rand) bool {
+	m.left[pid]--
+	return m.left[pid] == 0
+}
+
+// BenchmarkFlatHotPath measures the flat state-machine engine on the
+// controlled-steps workloads (the coroutine numbers are the
+// BenchmarkControlledSteps baselines) plus full consensus trials, with
+// allocation reporting: the engine workloads must show 0 allocs/op in
+// steady state — the property TestFlatRunnerSteadyStateZeroAllocs
+// asserts — because that is what lets the Monte Carlo runner sustain
+// millions of trials.
+func BenchmarkFlatHotPath(b *testing.B) {
+	cases := []struct {
+		name  string
+		n     int
+		steps func(pid int) int
+	}{
+		{name: "round-robin/n=8", n: 8, steps: func(int) int { return 2048 }},
+		{name: "round-robin/n=64", n: 64, steps: func(int) int { return 256 }},
+		{
+			name: "skewed-tail/n=64",
+			n:    64,
+			steps: func(pid int) int {
+				if pid == 0 {
+					return 4096
+				}
+				return 1
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			m := &flatBenchCountdown{steps: tc.steps, left: make([]int, tc.n)}
+			fr := sim.NewFlatRunner[*flatBenchCountdown]()
+			src := sched.NewRoundRobin(tc.n)
+			var res sim.Result
+			var totalSteps, totalSlots int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := fr.RunInto(src, m, sim.Config{AlgSeed: uint64(i) + 1}, &res); err != nil {
+					b.Fatal(err)
+				}
+				totalSteps += res.TotalSteps
+				totalSlots += res.Slots
+			}
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(totalSteps)/secs, "steps/s")
+				b.ReportMetric(float64(totalSlots)/secs, "slots/s")
+			}
+		})
+	}
+	b.Run("consensus/sifter+register/n=16", func(b *testing.B) {
+		b.ReportAllocs()
+		const n = 16
+		m, err := consensus.NewFlat(n, consensus.FlatConfig{
+			Conciliator: consensus.ConcSifter, AC: consensus.ACRegister,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fr := sim.NewFlatRunner[*consensus.FlatConsensus]()
+		var res sim.Result
+		var totalSteps int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src := sched.NewRandom(n, xrand.New(uint64(i)+1))
+			m.Reset(nil)
+			if err := fr.RunInto(src, m, sim.Config{AlgSeed: uint64(i) + 1}, &res); err != nil {
+				b.Fatal(err)
+			}
+			totalSteps += res.TotalSteps
+		}
+		secs := b.Elapsed().Seconds()
+		if secs > 0 {
+			b.ReportMetric(float64(totalSteps)/secs, "steps/s")
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "steps/trial")
+		}
+	})
+}
+
 // BenchmarkConcurrentSteps measures real multi-core throughput of the
 // concurrent substrate: n processes on real goroutines hammer a shared
 // register, max register, and snapshot, and the benchmark reports

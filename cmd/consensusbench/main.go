@@ -120,6 +120,12 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&af.budget, "attack-budget", 0, "candidate evaluations per search (0 = default 64, quick 16)")
 	fs.IntVar(&af.trials, "attack-trials", 0, "trials per candidate evaluation (0 = default 4, quick 2)")
 	fs.BoolVar(&af.faults, "attack-faults", false, "let the search add stutter/stall fault-schedule components to candidates")
+	var mf mcFlags
+	fs.StringVar(&mf.spec, "mc", "", "run the flat-engine Monte Carlo sweep over these protocols (comma-separated conciliator:adopt-commit pairs, or all)")
+	fs.IntVar(&mf.n, "mc-n", 0, "processes per Monte Carlo trial (0 = default 16)")
+	fs.Int64Var(&mf.trials, "mc-trials", 0, "Monte Carlo trials per protocol (0 = default 1000000, quick 20000)")
+	fs.StringVar(&mf.schedK, "mc-sched", "", "schedule kind driving the Monte Carlo trials (default random)")
+	fs.StringVar(&mf.jsonOut, "mc-json", "", "write a conciliator-mc/v1 JSON record of the Monte Carlo sweep to this path")
 	var df desFlags
 	fs.BoolVar(&df.run, "des", false, "run the discrete-event message-passing sweep (steps vs n at n up to 100k)")
 	fs.StringVar(&df.jsonOut, "des-json", "", "write the DES sweep's JSON record to this path")
@@ -131,6 +137,26 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&df.partitions, "des-partition", "", "comma-separated DES partitions from:until:frac (e.g. 5ms:25ms:0.3)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if mf.active() {
+		// Monte Carlo mode is its own run shape: reject every
+		// contradictory combination before any trial executes.
+		if af.active() || df.active() || ff.active() {
+			return fmt.Errorf("-mc flags cannot be combined with -attack/-des/-fault flags: the Monte Carlo sweep drives the flat shared-memory engine only")
+		}
+		if *benchOut != "" || *benchBaseline != "" || *benchConcOut != "" || *benchConcBaseline != "" {
+			return fmt.Errorf("-mc flags cannot be combined with -bench-json/-bench-baseline/-bench-concurrent-json/-bench-concurrent-baseline: the Monte Carlo record (-mc-json) carries its own throughput figures")
+		}
+		if *expID != "" || *all || *list {
+			return fmt.Errorf("-mc flags cannot be combined with -experiment/-all/-list (the curated Monte Carlo sweep runs as experiment E20)")
+		}
+		switch *format {
+		case "text", "markdown", "tsv":
+		default:
+			return fmt.Errorf("unknown format %q (want text, markdown, or tsv)", *format)
+		}
+		return runMCSweep(out, &mf, *seed, *quick, *parallel, *format)
 	}
 
 	if af.active() {
@@ -343,8 +369,12 @@ func run(args []string, out io.Writer) error {
 		// The controlled-steps microbenchmarks measure raw simulator
 		// throughput independent of any protocol, which is what the
 		// baseline gate compares: experiment entries are dominated by
-		// protocol statistics, these by the engine.
+		// protocol statistics, these by the engine. The flat-steps entries
+		// run the same workloads on the flat state-machine engine; the
+		// ratio between the two prefixes in one record is the interpreter
+		// speedup on identical modeled work.
 		rec.Experiments = append(rec.Experiments, controlledStepsEntries()...)
+		rec.Experiments = append(rec.Experiments, flatStepsEntries()...)
 	}
 	if *benchOut != "" {
 		rec.TotalWallSeconds = time.Since(suiteStart).Seconds()
@@ -359,6 +389,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *benchBaseline != "" {
 		if err := compareBaseline(out, rec.Experiments, *benchBaseline, "controlled-steps/"); err != nil {
+			return err
+		}
+		if err := compareBaseline(out, rec.Experiments, *benchBaseline, "flat-steps/"); err != nil {
 			return err
 		}
 	}

@@ -292,13 +292,16 @@ func TestBenchJSON(t *testing.T) {
 	if rec.Seed == 0 || rec.Parallelism == 0 {
 		t.Errorf("defaults not recorded: seed=%d parallelism=%d", rec.Seed, rec.Parallelism)
 	}
-	// Two experiment entries plus the controlled-steps microbenchmark
-	// entries the baseline gate compares against.
-	var expEntries, ctrlEntries int
+	// Two experiment entries plus the controlled-steps and flat-steps
+	// microbenchmark entries the baseline gate compares against.
+	var expEntries, ctrlEntries, flatEntries int
 	for _, e := range rec.Experiments {
-		if strings.HasPrefix(e.ID, "controlled-steps/") {
+		switch {
+		case strings.HasPrefix(e.ID, "controlled-steps/"):
 			ctrlEntries++
-		} else {
+		case strings.HasPrefix(e.ID, "flat-steps/"):
+			flatEntries++
+		default:
 			expEntries++
 		}
 		if e.ID == "" || e.Steps <= 0 || e.Slots <= 0 {
@@ -313,6 +316,9 @@ func TestBenchJSON(t *testing.T) {
 	}
 	if ctrlEntries != 4 {
 		t.Fatalf("got %d controlled-steps entries, want 4", ctrlEntries)
+	}
+	if flatEntries != 4 {
+		t.Fatalf("got %d flat-steps entries, want 4", flatEntries)
 	}
 }
 

@@ -1,0 +1,368 @@
+package conciliator
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/oblivious-consensus/conciliator/internal/persona"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/stats"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// This file compiles the conciliators to flat state machines for the
+// sim.FlatMachine engine: per-process cursors and shared objects live in
+// dense slices instead of heap objects and coroutine frames. The
+// correctness contract is observable equivalence with the coroutine
+// implementations, not code sharing — every machine here must consume
+// the per-process RNG streams in exactly the order persona.New and the
+// coroutine round loops do, and must charge exactly one modeled step per
+// Step call with the same shared-memory semantics as internal/memory.
+// The cross-engine identity tests and FuzzFlatVsCoroutine pin this.
+
+// FlatPersonae is the dense persona pool: the flat-engine image of
+// persona.Persona values. Persona identity is the index (the coroutine
+// engine uses pointer identity); all pre-drawn randomness lives in
+// flattened per-round slices. Draw replicates persona.New's draw order
+// exactly: coin first, then per-round priorities, then per-round write
+// bits.
+type FlatPersonae struct {
+	prioRounds int
+	prioBound  uint64
+	writeProbs []float64
+
+	vals    []int64
+	origins []int32
+	coins   []bool
+	prios   []uint64
+	bits    []bool
+}
+
+// NewFlatPersonae returns an empty pool drawing personae with the given
+// persona configuration.
+func NewFlatPersonae(cfg persona.Config) *FlatPersonae {
+	return &FlatPersonae{
+		prioRounds: cfg.PriorityRounds,
+		prioBound:  cfg.PriorityBound,
+		writeProbs: cfg.WriteProbs,
+	}
+}
+
+// EnsureIDs grows the pool's backing arrays to hold ids [0, count).
+// Growth is geometric, so steady-state reuse across trials does not
+// allocate.
+func (pp *FlatPersonae) EnsureIDs(count int) {
+	if count <= len(pp.vals) {
+		return
+	}
+	grow := func(n, need int) int {
+		if n == 0 {
+			n = need
+		}
+		for n < need {
+			n *= 2
+		}
+		return n
+	}
+	c := grow(len(pp.vals), count)
+	vals := make([]int64, c)
+	copy(vals, pp.vals)
+	pp.vals = vals
+	origins := make([]int32, c)
+	copy(origins, pp.origins)
+	pp.origins = origins
+	coins := make([]bool, c)
+	copy(coins, pp.coins)
+	pp.coins = coins
+	if pp.prioRounds > 0 {
+		prios := make([]uint64, c*pp.prioRounds)
+		copy(prios, pp.prios)
+		pp.prios = prios
+	}
+	if len(pp.writeProbs) > 0 {
+		bits := make([]bool, c*len(pp.writeProbs))
+		copy(bits, pp.bits)
+		pp.bits = bits
+	}
+}
+
+// Draw fills persona id with value val owned by origin, drawing all
+// randomness from rng in the same order persona.New does.
+func (pp *FlatPersonae) Draw(id int, val int64, origin int, rng *xrand.Rand) {
+	pp.vals[id] = val
+	pp.origins[id] = int32(origin)
+	pp.coins[id] = rng.Bool()
+	if pp.prioRounds > 0 {
+		base := id * pp.prioRounds
+		for i := 0; i < pp.prioRounds; i++ {
+			if pp.prioBound > 0 {
+				pp.prios[base+i] = 1 + rng.Uint64n(pp.prioBound)
+			} else {
+				pp.prios[base+i] = rng.Uint64()
+			}
+		}
+	}
+	if len(pp.writeProbs) > 0 {
+		base := id * len(pp.writeProbs)
+		for i, prob := range pp.writeProbs {
+			pp.bits[base+i] = rng.Bernoulli(prob)
+		}
+	}
+}
+
+// Value returns persona id's input value.
+func (pp *FlatPersonae) Value(id int32) int64 { return pp.vals[id] }
+
+// Origin returns the id of the process that created persona id.
+func (pp *FlatPersonae) Origin(id int32) int32 { return pp.origins[id] }
+
+// Priority returns persona id's pre-drawn priority for round i.
+func (pp *FlatPersonae) Priority(id int32, i int) uint64 {
+	return pp.prios[int(id)*pp.prioRounds+i]
+}
+
+// WriteBit returns persona id's pre-drawn chooseWrite decision for
+// round i.
+func (pp *FlatPersonae) WriteBit(id int32, i int) bool {
+	return pp.bits[int(id)*len(pp.writeProbs)+i]
+}
+
+// SifterHalfRounds returns the round count of the constant-p = 1/2
+// sifter baseline: survivors halve in expectation each round, so
+// Theta(log n) rounds drive the survivor bound through the same epsilon
+// tail the tuned schedule reaches in ceil(log log n) rounds (compare
+// SifterRounds).
+func SifterHalfRounds(n int, epsilon float64) int {
+	r := stats.CeilLog2(n) + stats.CeilLogBase(4.0/3.0, 8/epsilon)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// HalfSifterConfig returns the SifterConfig of the constant-p = 1/2
+// baseline for n processes: SifterHalfRounds rounds, every round writing
+// with probability 1/2. Feeding it to NewSifter and NewFlatSifter yields
+// byte-identical executions of the ablation the DES port calls
+// "sifter-half".
+func HalfSifterConfig(n int, epsilon float64) SifterConfig {
+	if epsilon <= 0 || epsilon >= 1 {
+		epsilon = 0.5
+	}
+	return SifterConfig{
+		Epsilon: epsilon,
+		Rounds:  SifterHalfRounds(n, epsilon),
+		Probs:   []float64{0.5},
+	}
+}
+
+// FlatSifter is Algorithm 2 compiled to a flat machine: one int32
+// register cell per round holding a persona id (-1 empty), per-process
+// cursors in dense slices. Single-phase (one Conciliate per process);
+// consensus phase composition lives in internal/consensus.
+//
+// The ablation switches (SharePersonae=false, TrackSurvivors) are not
+// ported; NewFlatSifter rejects configurations that ask for them.
+type FlatSifter struct {
+	n      int
+	rounds int
+	probs  []float64
+	pp     *FlatPersonae
+
+	regs   []int32 // per round: persona id or -1
+	pers   []int32 // per process: current persona id
+	round  []int32 // per process: next round index
+	inputs []int64
+}
+
+var _ sim.FlatMachine = (*FlatSifter)(nil)
+
+// NewFlatSifter returns a flat Algorithm 2 machine for n processes,
+// resolving rounds and write probabilities exactly as NewSifter does.
+// Call Reset before each run.
+func NewFlatSifter(n int, cfg SifterConfig) *FlatSifter {
+	cfg = cfg.withDefaults()
+	if !*cfg.SharePersonae || cfg.TrackSurvivors {
+		panic("conciliator: FlatSifter supports only the default shared-personae configuration")
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = SifterRounds(n, cfg.Epsilon)
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	probs := SifterProbs(n, rounds)
+	if len(cfg.Probs) > 0 {
+		for i := range probs {
+			if i < len(cfg.Probs) {
+				probs[i] = cfg.Probs[i]
+			} else {
+				probs[i] = cfg.Probs[len(cfg.Probs)-1]
+			}
+		}
+	}
+	m := &FlatSifter{
+		n:      n,
+		rounds: rounds,
+		probs:  probs,
+		pp:     NewFlatPersonae(persona.Config{WriteProbs: probs}),
+		regs:   make([]int32, rounds),
+		pers:   make([]int32, n),
+		round:  make([]int32, n),
+	}
+	m.pp.EnsureIDs(n)
+	m.Reset(nil)
+	return m
+}
+
+// Rounds returns the number of rounds R the machine executes.
+func (m *FlatSifter) Rounds() int { return m.rounds }
+
+// Reset prepares the machine for a fresh run with the given inputs
+// (inputs[pid]; nil means input = pid). The slice is read during Init
+// and not retained past the run.
+func (m *FlatSifter) Reset(inputs []int64) {
+	m.inputs = inputs
+	for i := range m.regs {
+		m.regs[i] = -1
+	}
+	for pid := 0; pid < m.n; pid++ {
+		m.pers[pid] = int32(pid)
+		m.round[pid] = 0
+	}
+}
+
+// Init implements sim.FlatMachine: persona creation, the only pre-step
+// randomness of the sifter body.
+func (m *FlatSifter) Init(pid int, rng *xrand.Rand) {
+	val := int64(pid)
+	if m.inputs != nil {
+		val = m.inputs[pid]
+	}
+	m.pp.Draw(pid, val, pid, rng)
+}
+
+// Step implements sim.FlatMachine: one sifting round, exactly one
+// register operation.
+func (m *FlatSifter) Step(pid int, _ *xrand.Rand) bool {
+	i := m.round[pid]
+	pers := m.pers[pid]
+	if m.pp.WriteBit(pers, int(i)) {
+		m.regs[i] = pers
+	} else if r := m.regs[i]; r >= 0 {
+		m.pers[pid] = r
+	}
+	m.round[pid] = i + 1
+	return int(i+1) >= m.rounds
+}
+
+// Value returns the conciliator output of a finished process.
+func (m *FlatSifter) Value(pid int) int64 { return m.pp.Value(m.pers[pid]) }
+
+// FlatPriorityMax is Algorithm 1's footnote-1 max-register variant
+// compiled to a flat machine: per round one unit-cost max register held
+// as a (key, persona id) pair, two operations per round (WriteMax, then
+// ReadMax-and-adopt). Only the UseMaxRegisters configuration is ported;
+// snapshot rounds, tree max registers, compact values, and the ablation
+// switches are rejected.
+type FlatPriorityMax struct {
+	n      int
+	rounds int
+	bound  uint64
+	pp     *FlatPersonae
+
+	maxKey  []uint64 // per round: incumbent key
+	maxPers []int32  // per round: incumbent persona id, -1 empty
+	pers    []int32  // per process
+	pos     []int32  // per process: operation index (2 per round)
+	inputs  []int64
+}
+
+var _ sim.FlatMachine = (*FlatPriorityMax)(nil)
+
+// NewFlatPriorityMax returns a flat footnote-1 Algorithm 1 machine for n
+// processes, resolving rounds and the priority bound exactly as
+// NewPriority does for UseMaxRegisters configurations. Call Reset before
+// each run.
+func NewFlatPriorityMax(n int, cfg PriorityConfig) *FlatPriorityMax {
+	cfg = cfg.withDefaults()
+	if !cfg.UseMaxRegisters || cfg.TreeMax || cfg.UseAfekSnapshot || cfg.CompactValues ||
+		cfg.InconsistentTies || !*cfg.SharePersonae || cfg.TrackSurvivors {
+		panic(fmt.Sprintf("conciliator: FlatPriorityMax supports only the plain max-register configuration, got %+v", cfg))
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = PriorityRounds(n, cfg.Epsilon)
+	}
+	var bound uint64
+	switch {
+	case cfg.PriorityBound != 0:
+		bound = cfg.PriorityBound
+	case cfg.PaperPriorityRange:
+		bound = uint64(math.Ceil(float64(rounds) * float64(n) * float64(n) / cfg.Epsilon))
+	}
+	m := &FlatPriorityMax{
+		n:       n,
+		rounds:  rounds,
+		bound:   bound,
+		pp:      NewFlatPersonae(persona.Config{PriorityRounds: rounds, PriorityBound: bound}),
+		maxKey:  make([]uint64, rounds),
+		maxPers: make([]int32, rounds),
+		pers:    make([]int32, n),
+		pos:     make([]int32, n),
+	}
+	m.pp.EnsureIDs(n)
+	m.Reset(nil)
+	return m
+}
+
+// Rounds returns the number of rounds R the machine executes.
+func (m *FlatPriorityMax) Rounds() int { return m.rounds }
+
+// Reset prepares the machine for a fresh run with the given inputs
+// (nil means input = pid).
+func (m *FlatPriorityMax) Reset(inputs []int64) {
+	m.inputs = inputs
+	for i := 0; i < m.rounds; i++ {
+		m.maxKey[i] = 0
+		m.maxPers[i] = -1
+	}
+	for pid := 0; pid < m.n; pid++ {
+		m.pers[pid] = int32(pid)
+		m.pos[pid] = 0
+	}
+}
+
+// Init implements sim.FlatMachine.
+func (m *FlatPriorityMax) Init(pid int, rng *xrand.Rand) {
+	val := int64(pid)
+	if m.inputs != nil {
+		val = m.inputs[pid]
+	}
+	m.pp.Draw(pid, val, pid, rng)
+}
+
+// Step implements sim.FlatMachine: alternating WriteMax / ReadMax-adopt
+// operations, two per round, with the max register's semantics (strictly
+// greater key replaces; ties keep the incumbent).
+func (m *FlatPriorityMax) Step(pid int, _ *xrand.Rand) bool {
+	pos := m.pos[pid]
+	i := int(pos) / 2
+	if pos&1 == 0 {
+		key := m.pp.Priority(m.pers[pid], i)
+		if m.maxPers[i] < 0 || key > m.maxKey[i] {
+			m.maxKey[i] = key
+			m.maxPers[i] = m.pers[pid]
+		}
+	} else {
+		// The process's own WriteMax preceded, so the register is never
+		// empty here; adopt unconditionally, as the coroutine round does.
+		m.pers[pid] = m.maxPers[i]
+	}
+	m.pos[pid] = pos + 1
+	return int(pos+1) >= 2*m.rounds
+}
+
+// Value returns the conciliator output of a finished process.
+func (m *FlatPriorityMax) Value(pid int) int64 { return m.pp.Value(m.pers[pid]) }

@@ -1,0 +1,340 @@
+package consensus
+
+import (
+	"fmt"
+
+	"github.com/oblivious-consensus/conciliator/internal/adoptcommit"
+	"github.com/oblivious-consensus/conciliator/internal/conciliator"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// This file compiles the full conciliator + adopt-commit phase loop to a
+// sim.FlatMachine: per-process phase cursors live in dense slices, each
+// phase's conciliator is a flat machine from internal/conciliator, and
+// each phase's adopt-commit object is a flat core from
+// internal/adoptcommit. The observable-equivalence contract with the
+// coroutine Protocol (EquivalentProtocol builds the matching one) is
+// pinned by the cross-engine identity tests and FuzzFlatVsCoroutine:
+// same slots, same per-process step counts, same decisions under every
+// schedule and algorithm seed.
+
+// Conciliator and adopt-commit selectors for FlatConfig.
+const (
+	ConcSifter      = "sifter"       // Algorithm 2 (register model)
+	ConcSifterHalf  = "sifter-half"  // constant-p = 1/2 sifter baseline
+	ConcPriorityMax = "priority-max" // Algorithm 1, footnote-1 max registers
+
+	ACRegister = "register" // binary register adopt-commit (values {0, 1})
+	ACSnapshot = "snapshot" // snapshot adopt-commit (any int64 values)
+)
+
+// FlatConfig selects the protocol assembled by NewFlat.
+type FlatConfig struct {
+	// Conciliator is one of ConcSifter, ConcSifterHalf, ConcPriorityMax.
+	Conciliator string
+	// AC is one of ACRegister, ACSnapshot. ACRegister restricts inputs
+	// to {0, 1}.
+	AC string
+	// Epsilon is the per-phase conciliator failure bound (0 = 0.5, the
+	// value the coroutine factories use).
+	Epsilon float64
+	// MaxPhases bounds the phase loop (0 = default 64), with the same
+	// validity valve as the coroutine Protocol.
+	MaxPhases int
+}
+
+func (cfg FlatConfig) withDefaults() FlatConfig {
+	if cfg.Conciliator == "" {
+		cfg.Conciliator = ConcSifter
+	}
+	if cfg.AC == "" {
+		cfg.AC = ACRegister
+	}
+	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+		cfg.Epsilon = 0.5
+	}
+	if cfg.MaxPhases <= 0 {
+		cfg.MaxPhases = defaultMaxPhases
+	}
+	return cfg
+}
+
+// sifterConfig resolves the conciliator.SifterConfig the coroutine
+// factories would pass to NewSifter for this FlatConfig.
+func (cfg FlatConfig) sifterConfig(n int) conciliator.SifterConfig {
+	if cfg.Conciliator == ConcSifterHalf {
+		return conciliator.HalfSifterConfig(n, cfg.Epsilon)
+	}
+	return conciliator.SifterConfig{Epsilon: cfg.Epsilon}
+}
+
+func (cfg FlatConfig) priorityConfig() conciliator.PriorityConfig {
+	return conciliator.PriorityConfig{Epsilon: cfg.Epsilon, UseMaxRegisters: true}
+}
+
+const (
+	concKindSifter = iota
+	concKindPriorityMax
+)
+
+// FlatConsensus is the phase loop of Protocol.ProposeWithPhases compiled
+// to a flat machine. Per-phase objects are created lazily the first time
+// any process enters the phase (bookkeeping, no modeled steps, exactly
+// like Protocol.phase) and are retained across Reset, so steady-state
+// Monte Carlo trials run without allocation.
+type FlatConsensus struct {
+	n         int
+	cfg       FlatConfig
+	concKind  int8
+	binary    bool
+	maxPhases int
+
+	// Per-process cursors.
+	pref    []int64
+	phase   []int32
+	inConc  []bool
+	acCur   []adoptcommit.FlatACCursor
+	acVal   []int64
+	decided []bool
+	phases  []int32 // phases used by a decided process
+
+	// Per-phase objects, indexed by phase, grown lazily.
+	sifters []*conciliator.FlatSifter
+	prios   []*conciliator.FlatPriorityMax
+	regACs  []adoptcommit.FlatBinaryAC
+	snapACs []*adoptcommit.FlatSnapshotAC
+
+	inputs []int64
+}
+
+var _ sim.FlatMachine = (*FlatConsensus)(nil)
+
+// NewFlat returns a flat consensus machine for n processes. Call Reset
+// before each run.
+func NewFlat(n int, cfg FlatConfig) (*FlatConsensus, error) {
+	cfg = cfg.withDefaults()
+	m := &FlatConsensus{
+		n:         n,
+		cfg:       cfg,
+		maxPhases: cfg.MaxPhases,
+		pref:      make([]int64, n),
+		phase:     make([]int32, n),
+		inConc:    make([]bool, n),
+		acCur:     make([]adoptcommit.FlatACCursor, n),
+		acVal:     make([]int64, n),
+		decided:   make([]bool, n),
+		phases:    make([]int32, n),
+	}
+	switch cfg.Conciliator {
+	case ConcSifter, ConcSifterHalf:
+		m.concKind = concKindSifter
+	case ConcPriorityMax:
+		m.concKind = concKindPriorityMax
+	default:
+		return nil, fmt.Errorf("consensus: unknown flat conciliator %q", cfg.Conciliator)
+	}
+	switch cfg.AC {
+	case ACRegister:
+		m.binary = true
+	case ACSnapshot:
+	default:
+		return nil, fmt.Errorf("consensus: unknown flat adopt-commit %q", cfg.AC)
+	}
+	m.Reset(nil)
+	return m, nil
+}
+
+// EquivalentProtocol builds the coroutine Protocol that NewFlat(n, cfg)
+// reproduces byte-identically: the same factories the Corollary
+// constructors use, specialised to int values.
+func EquivalentProtocol(n int, cfg FlatConfig) (*Protocol[int], error) {
+	cfg = cfg.withDefaults()
+	var newConc func(int) conciliator.Interface[int]
+	switch cfg.Conciliator {
+	case ConcSifter, ConcSifterHalf:
+		scfg := cfg.sifterConfig(n)
+		newConc = func(int) conciliator.Interface[int] {
+			return conciliator.NewSifter[int](n, scfg)
+		}
+	case ConcPriorityMax:
+		pcfg := cfg.priorityConfig()
+		newConc = func(int) conciliator.Interface[int] {
+			return conciliator.NewPriority[int](n, pcfg)
+		}
+	default:
+		return nil, fmt.Errorf("consensus: unknown flat conciliator %q", cfg.Conciliator)
+	}
+	var newAC func(int) adoptcommit.Object[int]
+	switch cfg.AC {
+	case ACRegister:
+		newAC = func(int) adoptcommit.Object[int] { return adoptcommit.NewBinaryAC() }
+	case ACSnapshot:
+		newAC = func(int) adoptcommit.Object[int] { return adoptcommit.NewSnapshotAC[int](n) }
+	default:
+		return nil, fmt.Errorf("consensus: unknown flat adopt-commit %q", cfg.AC)
+	}
+	return New(n, Config[int]{
+		NewConciliator: newConc,
+		NewAdoptCommit: newAC,
+		MaxPhases:      cfg.MaxPhases,
+	}), nil
+}
+
+// Reset prepares the machine for a fresh run with the given inputs
+// (inputs[pid]; nil means input = pid mod 2). The slice is read during
+// Init and not retained past the run. With AC == ACRegister, inputs must
+// lie in {0, 1}.
+func (m *FlatConsensus) Reset(inputs []int64) {
+	if inputs != nil && m.binary {
+		for pid, v := range inputs {
+			if v != 0 && v != 1 {
+				panic(fmt.Sprintf("consensus: register adopt-commit requires binary inputs, got inputs[%d] = %d", pid, v))
+			}
+		}
+	}
+	m.inputs = inputs
+	for pid := 0; pid < m.n; pid++ {
+		m.phase[pid] = 0
+		m.inConc[pid] = true
+		m.acCur[pid] = adoptcommit.FlatACCursor{}
+		m.decided[pid] = false
+		m.phases[pid] = 0
+	}
+	for _, s := range m.sifters {
+		s.Reset(m.pref)
+	}
+	for _, p := range m.prios {
+		p.Reset(m.pref)
+	}
+	for i := range m.regACs {
+		m.regACs[i].Reset()
+	}
+	for _, ac := range m.snapACs {
+		ac.Reset()
+	}
+	m.enterPhase(0)
+}
+
+// enterPhase makes sure phase ph's conciliator and adopt-commit objects
+// exist. Lazy creation mirrors Protocol.phase: bookkeeping only, no
+// modeled steps.
+func (m *FlatConsensus) enterPhase(ph int) {
+	switch m.concKind {
+	case concKindSifter:
+		for len(m.sifters) <= ph {
+			s := conciliator.NewFlatSifter(m.n, m.cfg.sifterConfig(m.n))
+			s.Reset(m.pref)
+			m.sifters = append(m.sifters, s)
+		}
+	case concKindPriorityMax:
+		for len(m.prios) <= ph {
+			p := conciliator.NewFlatPriorityMax(m.n, m.cfg.priorityConfig())
+			p.Reset(m.pref)
+			m.prios = append(m.prios, p)
+		}
+	}
+	if m.binary {
+		for len(m.regACs) <= ph {
+			m.regACs = append(m.regACs, adoptcommit.FlatBinaryAC{})
+		}
+	} else {
+		for len(m.snapACs) <= ph {
+			m.snapACs = append(m.snapACs, adoptcommit.NewFlatSnapshotAC(m.n))
+		}
+	}
+}
+
+// Init implements sim.FlatMachine: record the input preference and draw
+// the phase-0 persona, the only pre-first-step randomness of the
+// coroutine body.
+func (m *FlatConsensus) Init(pid int, rng *xrand.Rand) {
+	v := int64(pid % 2)
+	if m.inputs != nil {
+		v = m.inputs[pid]
+	}
+	m.pref[pid] = v
+	m.concInit(0, pid, rng)
+}
+
+// concInit draws process pid's phase-ph persona, reading pref[pid] as
+// the conciliator input — the coroutine engine does this at the top of
+// Conciliate, as local computation before the phase's first step.
+func (m *FlatConsensus) concInit(ph, pid int, rng *xrand.Rand) {
+	switch m.concKind {
+	case concKindSifter:
+		m.sifters[ph].Init(pid, rng)
+	case concKindPriorityMax:
+		m.prios[ph].Init(pid, rng)
+	}
+}
+
+// Step implements sim.FlatMachine: exactly one shared-memory operation
+// of the current phase's conciliator or adopt-commit object.
+func (m *FlatConsensus) Step(pid int, rng *xrand.Rand) bool {
+	ph := int(m.phase[pid])
+	if m.inConc[pid] {
+		var fin bool
+		switch m.concKind {
+		case concKindSifter:
+			s := m.sifters[ph]
+			if fin = s.Step(pid, rng); fin {
+				m.acVal[pid] = s.Value(pid)
+			}
+		case concKindPriorityMax:
+			p := m.prios[ph]
+			if fin = p.Step(pid, rng); fin {
+				m.acVal[pid] = p.Value(pid)
+			}
+		}
+		if fin {
+			m.inConc[pid] = false
+			m.acCur[pid] = adoptcommit.FlatACCursor{}
+		}
+		// A conciliator's last operation is never the body's last: the
+		// phase's adopt-commit Propose always follows.
+		return false
+	}
+
+	var done, commit bool
+	var out int64
+	if m.binary {
+		done, commit, out = m.regACs[ph].Step(&m.acCur[pid], m.acVal[pid])
+	} else {
+		done, commit, out = m.snapACs[ph].Step(&m.acCur[pid], pid, m.acVal[pid])
+	}
+	if !done {
+		return false
+	}
+	m.pref[pid] = out
+	if commit {
+		m.decided[pid] = true
+		m.phases[pid] = int32(ph + 1)
+		return true
+	}
+	if ph+1 >= m.maxPhases {
+		// Safety valve, exactly like ProposeWithPhases: return the
+		// current preference, which is still some process's input.
+		m.decided[pid] = true
+		m.phases[pid] = int32(m.maxPhases)
+		return true
+	}
+	m.phase[pid] = int32(ph + 1)
+	m.inConc[pid] = true
+	m.enterPhase(ph + 1)
+	// Entering the next conciliator draws its persona now — local
+	// computation between this operation and the process's next one,
+	// at the same position in the per-process stream as the coroutine.
+	m.concInit(ph+1, pid, rng)
+	return false
+}
+
+// Output returns the decision of a finished process.
+func (m *FlatConsensus) Output(pid int) int64 { return m.pref[pid] }
+
+// Decided reports whether process pid reached a decision (true for every
+// finished process).
+func (m *FlatConsensus) Decided(pid int) bool { return m.decided[pid] }
+
+// Phases returns how many phases a decided process executed.
+func (m *FlatConsensus) Phases(pid int) int { return int(m.phases[pid]) }

@@ -1,0 +1,205 @@
+package consensus
+
+import (
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+// flatConfigs is the full matrix the flat machine supports: three
+// conciliators by two adopt-commit objects.
+func flatConfigs() []FlatConfig {
+	var cfgs []FlatConfig
+	for _, conc := range []string{ConcSifter, ConcSifterHalf, ConcPriorityMax} {
+		for _, ac := range []string{ACRegister, ACSnapshot} {
+			cfgs = append(cfgs, FlatConfig{Conciliator: conc, AC: ac})
+		}
+	}
+	return cfgs
+}
+
+// checkFlatVsCoroutine runs the coroutine protocol and the flat machine
+// under one (configuration, schedule, seed) and requires byte-identical
+// step tables, finish flags, and decisions. Returns false only via
+// t.Errorf / t.Fatalf reporting.
+func checkFlatVsCoroutine(t *testing.T, tag string, n int, cfg FlatConfig, src1, src2 sched.Source, algSeed uint64) {
+	t.Helper()
+	inputs := make([]int64, n)
+	coInputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = int64(i % 2)
+		coInputs[i] = i % 2
+	}
+	simCfg := sim.Config{AlgSeed: algSeed}
+
+	proto, err := EquivalentProtocol(n, cfg)
+	if err != nil {
+		t.Fatalf("%s: EquivalentProtocol: %v", tag, err)
+	}
+	coOuts, coFin, coRes, coErr := sim.Collect(src1, simCfg, func(p *sim.Proc) int {
+		return proto.Propose(p, coInputs[p.ID()])
+	})
+	if coErr != nil {
+		t.Fatalf("%s: coroutine run failed: %v", tag, coErr)
+	}
+
+	fm, err := NewFlat(n, cfg)
+	if err != nil {
+		t.Fatalf("%s: NewFlat: %v", tag, err)
+	}
+	fm.Reset(inputs)
+	flRes, flErr := sim.RunFlat(src2, fm, simCfg)
+	if flErr != nil {
+		t.Fatalf("%s: flat run failed: %v", tag, flErr)
+	}
+
+	if coRes.Slots != flRes.Slots || coRes.TotalSteps != flRes.TotalSteps {
+		t.Fatalf("%s: slots/steps: coroutine (%d,%d) flat (%d,%d)",
+			tag, coRes.Slots, coRes.TotalSteps, flRes.Slots, flRes.TotalSteps)
+	}
+	for pid := 0; pid < n; pid++ {
+		if coRes.Steps[pid] != flRes.Steps[pid] {
+			t.Errorf("%s: steps[%d] flat %d coroutine %d", tag, pid, flRes.Steps[pid], coRes.Steps[pid])
+		}
+		if coFin[pid] != flRes.Finished[pid] {
+			t.Errorf("%s: finished[%d] flat %v coroutine %v", tag, pid, flRes.Finished[pid], coFin[pid])
+		}
+		if coFin[pid] {
+			if int64(coOuts[pid]) != fm.Output(pid) {
+				t.Errorf("%s: output[%d] flat %d coroutine %d", tag, pid, fm.Output(pid), coOuts[pid])
+			}
+			if !fm.Decided(pid) {
+				t.Errorf("%s: finished pid %d not marked decided", tag, pid)
+			}
+			if fm.Phases(pid) < 1 {
+				t.Errorf("%s: finished pid %d reports %d phases", tag, pid, fm.Phases(pid))
+			}
+		}
+	}
+}
+
+// TestFlatConsensusByteIdentity pins the flat phase loop against the
+// coroutine Protocol across the full conciliator x adopt-commit matrix,
+// every schedule family (including crash-half), and several sizes.
+func TestFlatConsensusByteIdentity(t *testing.T) {
+	for _, cfg := range flatConfigs() {
+		for _, n := range []int{2, 9, 24} {
+			for _, kind := range sched.Kinds() {
+				for seed := uint64(1); seed <= 2; seed++ {
+					tag := cfg.Conciliator + "/" + cfg.AC
+					checkFlatVsCoroutine(t, tag, n, cfg,
+						sched.New(kind, n, seed), sched.New(kind, n, seed), 0xbead^seed)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatConsensusReuse pins that Reset makes a machine and a reused
+// runner byte-identical to fresh ones across back-to-back trials.
+func TestFlatConsensusReuse(t *testing.T) {
+	n := 12
+	cfg := FlatConfig{Conciliator: ConcSifter, AC: ACRegister}
+	m, err := NewFlat(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := sim.NewFlatRunner[*FlatConsensus]()
+	var reused sim.Result
+	for trial := uint64(0); trial < 5; trial++ {
+		simCfg := sim.Config{AlgSeed: 100 + trial}
+		m.Reset(nil)
+		if err := fr.RunInto(sched.New(sched.KindRandom, n, trial), m, simCfg, &reused); err != nil {
+			t.Fatalf("trial %d: reused run failed: %v", trial, err)
+		}
+		fresh, err := NewFlat(n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshRes, err := sim.RunFlat(sched.New(sched.KindRandom, n, trial), fresh, simCfg)
+		if err != nil {
+			t.Fatalf("trial %d: fresh run failed: %v", trial, err)
+		}
+		if reused.Slots != freshRes.Slots || reused.TotalSteps != freshRes.TotalSteps {
+			t.Fatalf("trial %d: reused (%d,%d) != fresh (%d,%d)",
+				trial, reused.Slots, reused.TotalSteps, freshRes.Slots, freshRes.TotalSteps)
+		}
+		for pid := 0; pid < n; pid++ {
+			if m.Output(pid) != fresh.Output(pid) || m.Phases(pid) != fresh.Phases(pid) {
+				t.Fatalf("trial %d pid %d: reused machine drifted from fresh machine", trial, pid)
+			}
+		}
+	}
+}
+
+// TestFlatConsensusAgreementValidity spot-checks the protocol properties
+// on the flat engine directly: every finished process decides the same
+// value, and that value is some process's input.
+func TestFlatConsensusAgreementValidity(t *testing.T) {
+	for _, cfg := range flatConfigs() {
+		m, err := NewFlat(16, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := sim.NewFlatRunner[*FlatConsensus]()
+		var res sim.Result
+		for seed := uint64(0); seed < 20; seed++ {
+			m.Reset(nil)
+			if err := fr.RunInto(sched.New(sched.KindRandom, 16, seed), m, sim.Config{AlgSeed: seed * 31}, &res); err != nil {
+				t.Fatalf("%s/%s seed %d: %v", cfg.Conciliator, cfg.AC, seed, err)
+			}
+			first := m.Output(0)
+			for pid := 0; pid < 16; pid++ {
+				if v := m.Output(pid); v != first {
+					t.Fatalf("%s/%s seed %d: agreement violated: output[%d]=%d output[0]=%d",
+						cfg.Conciliator, cfg.AC, seed, pid, v, first)
+				}
+			}
+			if first != 0 && first != 1 {
+				t.Fatalf("%s/%s seed %d: validity violated: decided %d", cfg.Conciliator, cfg.AC, seed, first)
+			}
+		}
+	}
+}
+
+// TestFlatConsensusRejectsBadConfig pins the constructor error paths and
+// the binary-input validation.
+func TestFlatConsensusRejectsBadConfig(t *testing.T) {
+	if _, err := NewFlat(4, FlatConfig{Conciliator: "nope"}); err == nil {
+		t.Error("unknown conciliator accepted")
+	}
+	if _, err := NewFlat(4, FlatConfig{AC: "nope"}); err == nil {
+		t.Error("unknown adopt-commit accepted")
+	}
+	m, err := NewFlat(4, FlatConfig{AC: ACRegister})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-binary input accepted by register adopt-commit machine")
+		}
+	}()
+	m.Reset([]int64{0, 1, 2, 1})
+}
+
+// FuzzFlatVsCoroutine is the differential fuzz target of the two
+// engines: any (size, configuration, schedule kind, schedule seed,
+// algorithm seed) drawn by the fuzzer must produce byte-identical step
+// tables and decisions.
+func FuzzFlatVsCoroutine(f *testing.F) {
+	f.Add(uint8(4), uint8(0), uint8(0), uint64(1), uint64(2))
+	f.Add(uint8(9), uint8(3), uint8(2), uint64(7), uint64(5))
+	f.Add(uint8(17), uint8(5), uint8(5), uint64(11), uint64(13))
+	cfgs := flatConfigs()
+	kinds := sched.Kinds()
+	f.Fuzz(func(t *testing.T, nRaw, cfgRaw, kindRaw uint8, schedSeed, algSeed uint64) {
+		n := 2 + int(nRaw)%31
+		cfg := cfgs[int(cfgRaw)%len(cfgs)]
+		kind := kinds[int(kindRaw)%len(kinds)]
+		tag := cfg.Conciliator + "/" + cfg.AC
+		checkFlatVsCoroutine(t, tag, n, cfg,
+			sched.New(kind, n, schedSeed), sched.New(kind, n, schedSeed), algSeed)
+	})
+}

@@ -1,0 +1,215 @@
+package consensus
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/stats"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// MCConfig configures a Monte Carlo sweep of flat-engine consensus
+// trials.
+type MCConfig struct {
+	// N is the number of processes per trial.
+	N int
+	// Trials is the number of independent trials.
+	Trials int64
+	// Flat selects the protocol.
+	Flat FlatConfig
+	// Sched is the schedule family driving every trial.
+	Sched sched.Kind
+	// Seed derives each trial's schedule seed and algorithm seed by a
+	// pure function of (Seed, trial index): results are byte-identical
+	// for any worker count or chunk size.
+	Seed uint64
+	// Workers is the worker-goroutine count (0 = GOMAXPROCS).
+	Workers int
+	// ChunkSize is the number of trials a worker claims at a time
+	// (0 = 256).
+	ChunkSize int64
+}
+
+// MCResult aggregates a Monte Carlo sweep. All histograms are exact:
+// merging worker-local shards loses nothing, unlike subsampled or
+// bucketed summaries.
+type MCResult struct {
+	Trials int64
+	N      int
+
+	// Agreed counts trials whose finished processes all decided the same
+	// value (every trial should agree; disagreement would falsify the
+	// protocol, not the statistics).
+	Agreed int64
+
+	// Steps is the per-process individual step distribution
+	// (N observations per trial).
+	Steps *stats.IntHist
+	// MaxSteps is the per-trial maximum individual step count.
+	MaxSteps *stats.IntHist
+	// Phases is the per-process phases-to-decide distribution.
+	Phases *stats.IntHist
+
+	TotalSteps int64
+	TotalSlots int64
+
+	Elapsed     time.Duration
+	StepsPerSec float64
+}
+
+// trialSeeds derives trial t's (algorithm seed, schedule seed) as a pure
+// function of (base, t), independent of which worker runs the trial.
+func trialSeeds(base, t uint64) (algSeed, schedSeed uint64) {
+	var root, tr xrand.Rand
+	root.Reseed(base)
+	root.ForkNamedInto(t, &tr)
+	return tr.Uint64(), tr.Uint64()
+}
+
+// mcWorker is one worker's reusable trial state.
+type mcWorker struct {
+	machine *FlatConsensus
+	runner  *sim.FlatRunner[*FlatConsensus]
+	res     sim.Result
+
+	agreed     int64
+	totalSteps int64
+	totalSlots int64
+	steps      *stats.IntHist
+	maxSteps   *stats.IntHist
+	phases     *stats.IntHist
+}
+
+func newMCWorker(m *FlatConsensus) *mcWorker {
+	return &mcWorker{
+		machine:  m,
+		runner:   sim.NewFlatRunner[*FlatConsensus](),
+		steps:    stats.NewIntHist(1024),
+		maxSteps: stats.NewIntHist(1024),
+		phases:   stats.NewIntHist(64),
+	}
+}
+
+func (w *mcWorker) runTrial(cfg *MCConfig, t int64) error {
+	algSeed, schedSeed := trialSeeds(cfg.Seed, uint64(t))
+	src := sched.New(cfg.Sched, cfg.N, schedSeed)
+	w.machine.Reset(nil)
+	if err := w.runner.RunInto(src, w.machine, sim.Config{AlgSeed: algSeed}, &w.res); err != nil {
+		return fmt.Errorf("trial %d: %w", t, err)
+	}
+	w.totalSteps += w.res.TotalSteps
+	w.totalSlots += w.res.Slots
+	var maxSteps int64
+	agreed := true
+	var first int64
+	haveFirst := false
+	for pid := 0; pid < cfg.N; pid++ {
+		if s := w.res.Steps[pid]; s > maxSteps {
+			maxSteps = s
+		}
+		if !w.res.Finished[pid] {
+			continue
+		}
+		w.steps.Add(w.res.Steps[pid])
+		w.phases.Add(int64(w.machine.Phases(pid)))
+		if v := w.machine.Output(pid); !haveFirst {
+			first, haveFirst = v, true
+		} else if v != first {
+			agreed = false
+		}
+	}
+	w.maxSteps.Add(maxSteps)
+	if agreed {
+		w.agreed++
+	}
+	return nil
+}
+
+// RunMonteCarlo runs cfg.Trials independent flat-engine consensus trials
+// across chunked workers with worker-local streaming aggregation: the
+// hot loop reuses one machine, one runner, and one Result per worker, so
+// steady-state trials do not allocate. The aggregate is byte-identical
+// for any Workers/ChunkSize setting.
+func RunMonteCarlo(cfg MCConfig) (*MCResult, error) {
+	if cfg.N < 1 || cfg.Trials < 1 {
+		return nil, fmt.Errorf("consensus: Monte Carlo needs N >= 1 and Trials >= 1, got N=%d Trials=%d", cfg.N, cfg.Trials)
+	}
+	if _, err := NewFlat(cfg.N, cfg.Flat); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if int64(workers) > cfg.Trials {
+		workers = int(cfg.Trials)
+	}
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		chunk = 256
+	}
+
+	start := time.Now()
+	var nextChunk atomic.Int64
+	var firstErr atomic.Value
+	ws := make([]*mcWorker, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		m, err := NewFlat(cfg.N, cfg.Flat)
+		if err != nil {
+			return nil, err
+		}
+		w := newMCWorker(m)
+		ws[wi] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for firstErr.Load() == nil {
+				lo := nextChunk.Add(chunk) - chunk
+				if lo >= cfg.Trials {
+					return
+				}
+				hi := lo + chunk
+				if hi > cfg.Trials {
+					hi = cfg.Trials
+				}
+				for t := lo; t < hi; t++ {
+					if err := w.runTrial(&cfg, t); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+
+	out := &MCResult{
+		Trials:   cfg.Trials,
+		N:        cfg.N,
+		Steps:    stats.NewIntHist(1024),
+		MaxSteps: stats.NewIntHist(1024),
+		Phases:   stats.NewIntHist(64),
+		Elapsed:  time.Since(start),
+	}
+	for _, w := range ws {
+		out.Agreed += w.agreed
+		out.TotalSteps += w.totalSteps
+		out.TotalSlots += w.totalSlots
+		out.Steps.Merge(w.steps)
+		out.MaxSteps.Merge(w.maxSteps)
+		out.Phases.Merge(w.phases)
+	}
+	if secs := out.Elapsed.Seconds(); secs > 0 {
+		out.StepsPerSec = float64(out.TotalSteps) / secs
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package consensus
+
+import (
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+)
+
+// TestMonteCarloDeterministicAcrossWorkers pins the central reproducibility
+// claim of the Monte Carlo runner: per-trial seeds are pure functions of
+// (Seed, trial), and worker-local histograms merge losslessly, so any
+// Workers/ChunkSize combination yields the identical aggregate.
+func TestMonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	base := MCConfig{
+		N: 16, Trials: 400, Seed: 42, Sched: sched.KindRandom,
+		Flat: FlatConfig{Conciliator: ConcSifter, AC: ACRegister},
+	}
+	var ref *MCResult
+	for _, wc := range []struct{ workers, chunk int64 }{{1, 0}, {3, 37}, {8, 1}} {
+		cfg := base
+		cfg.Workers = int(wc.workers)
+		cfg.ChunkSize = wc.chunk
+		res, err := RunMonteCarlo(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", wc.workers, err)
+		}
+		if res.Agreed != res.Trials {
+			t.Fatalf("workers=%d: agreement failed in %d of %d trials", wc.workers, res.Trials-res.Agreed, res.Trials)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.TotalSteps != ref.TotalSteps || res.TotalSlots != ref.TotalSlots {
+			t.Fatalf("workers=%d chunk=%d: totals (%d,%d) != reference (%d,%d)",
+				wc.workers, wc.chunk, res.TotalSteps, res.TotalSlots, ref.TotalSteps, ref.TotalSlots)
+		}
+		if res.Steps.N() != ref.Steps.N() || res.Steps.Sum() != ref.Steps.Sum() {
+			t.Fatalf("workers=%d: step histogram drifted", wc.workers)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+			if res.Steps.Quantile(q) != ref.Steps.Quantile(q) ||
+				res.MaxSteps.Quantile(q) != ref.MaxSteps.Quantile(q) ||
+				res.Phases.Quantile(q) != ref.Phases.Quantile(q) {
+				t.Fatalf("workers=%d q=%v: quantiles drifted", wc.workers, q)
+			}
+		}
+	}
+}
+
+// TestMonteCarloMatchesDirectTrials pins the runner's per-trial wiring
+// against directly driven flat runs with the same derived seeds.
+func TestMonteCarloMatchesDirectTrials(t *testing.T) {
+	cfg := MCConfig{
+		N: 9, Trials: 50, Seed: 7, Sched: sched.KindRoundRobin,
+		Flat:    FlatConfig{Conciliator: ConcPriorityMax, AC: ACSnapshot},
+		Workers: 2,
+	}
+	res, err := RunMonteCarlo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewFlat(cfg.N, cfg.Flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := newMCWorker(m)
+	for trial := int64(0); trial < cfg.Trials; trial++ {
+		if err := direct.runTrial(&cfg, trial); err != nil {
+			t.Fatalf("direct trial %d: %v", trial, err)
+		}
+	}
+	if direct.totalSteps != res.TotalSteps || direct.totalSlots != res.TotalSlots {
+		t.Fatalf("direct totals (%d,%d) != runner (%d,%d)", direct.totalSteps, direct.totalSlots, res.TotalSteps, res.TotalSlots)
+	}
+	if direct.steps.Sum() != res.Steps.Sum() || direct.phases.Sum() != res.Phases.Sum() {
+		t.Fatal("direct histograms drifted from runner aggregate")
+	}
+}
+
+// TestMonteCarloRejectsBadConfig pins the validation paths.
+func TestMonteCarloRejectsBadConfig(t *testing.T) {
+	if _, err := RunMonteCarlo(MCConfig{N: 0, Trials: 1}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := RunMonteCarlo(MCConfig{N: 4, Trials: 0}); err == nil {
+		t.Error("Trials=0 accepted")
+	}
+	if _, err := RunMonteCarlo(MCConfig{N: 4, Trials: 1, Flat: FlatConfig{Conciliator: "bogus"}}); err == nil {
+		t.Error("bad flat config accepted")
+	}
+}

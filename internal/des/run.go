@@ -8,7 +8,6 @@ import (
 	"github.com/oblivious-consensus/conciliator/internal/conciliator"
 	"github.com/oblivious-consensus/conciliator/internal/fault"
 	"github.com/oblivious-consensus/conciliator/internal/persona"
-	"github.com/oblivious-consensus/conciliator/internal/stats"
 	"github.com/oblivious-consensus/conciliator/internal/xrand"
 )
 
@@ -84,19 +83,6 @@ type runner struct {
 	overflowed *proc
 }
 
-// sifterHalfRounds is the round count of the constant-p = 1/2 sifter
-// baseline: survivors halve in expectation each round, so Theta(log n)
-// rounds drive the survivor bound through the same epsilon tail the
-// tuned schedule uses (compare conciliator.SifterRounds, which needs
-// only log log n for the same tail).
-func sifterHalfRounds(n int, epsilon float64) int {
-	r := stats.CeilLog2(n) + stats.CeilLogBase(4.0/3.0, 8/epsilon)
-	if r < 1 {
-		r = 1
-	}
-	return r
-}
-
 // protocolRounds returns the conciliator rounds per phase and the
 // persona configuration (how much randomness each persona pre-draws) for
 // a protocol.
@@ -106,7 +92,7 @@ func protocolRounds(protocol string, n int, epsilon float64) (int, persona.Confi
 		r := conciliator.SifterRounds(n, epsilon)
 		return r, persona.Config{WriteProbs: conciliator.SifterProbs(n, r)}
 	case ProtoSifterHalf:
-		r := sifterHalfRounds(n, epsilon)
+		r := conciliator.SifterHalfRounds(n, epsilon)
 		probs := make([]float64, r)
 		for i := range probs {
 			probs[i] = 0.5

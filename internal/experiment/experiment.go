@@ -104,6 +104,7 @@ func All() []Experiment {
 		e17FaultSweep(),
 		e18DES(),
 		e19AttackSearch(),
+		e20MonteCarlo(),
 	}
 }
 

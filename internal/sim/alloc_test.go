@@ -63,6 +63,35 @@ func TestControlledHotPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestFlatRunnerSteadyStateZeroAllocs pins the flat engine's headline
+// guarantee: with the runner, machine, Result, and schedule source all
+// reused, a whole trial allocates nothing — not amortized-small like the
+// coroutine engine's pooled state, but literally zero, which is what
+// lets the Monte Carlo runner sustain millions of trials without GC
+// pressure.
+func TestFlatRunnerSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	if metrics.Enabled() {
+		t.Skip("allocation counts require metrics to be disabled")
+	}
+
+	m := newCountdown([]int{64, 64, 64, 64})
+	fr := NewFlatRunner[*countdownMachine]()
+	src := sched.NewRoundRobin(4) // stateless across trials: Next just keeps cycling
+	var res Result
+	run := func() {
+		if err := fr.RunInto(src, m, Config{AlgSeed: 7}, &res); err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+	}
+	run() // size the runner's arenas and the Result slices
+	if got := testing.AllocsPerRun(16, run); got != 0 {
+		t.Errorf("flat runner steady state = %v allocs/run, want 0", got)
+	}
+}
+
 // TestRunControlledSteadyStateAllocs pins the trial-state pooling: after
 // warmup, a whole controlled run costs only the Result bookkeeping (a
 // handful of fixed allocations), independent of step count — Proc,

@@ -129,12 +129,20 @@ func getState(n int) *runState {
 
 // putState returns a runState to the pool. Callers must not retain any
 // *Proc from it. Coroutine handles are dropped so pooled state does not
-// pin finished bodies; scratch maps are kept (cleared at next reuse).
+// pin finished bodies, and scratch arenas are cleared here rather than at
+// next reuse: a pooled scratch map is keyed by the finished run's shared
+// objects, so keeping its entries would pin that run's object graph (and
+// every buffer hanging off it) for as long as the state sits in the pool.
+// The map storage itself is kept — clearing preserves buckets, so the
+// next run's first scans still find a warm map.
 func putState(rs *runState, n int) {
 	for i := 0; i < n; i++ {
 		p := rs.procs[i]
 		p.next, p.stop, p.yield = nil, nil, nil
 		p.inj = nil
+		if p.scratch != nil {
+			clear(p.scratch)
+		}
 	}
 	statePool.Put(rs)
 }

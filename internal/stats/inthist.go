@@ -1,0 +1,138 @@
+package stats
+
+import "fmt"
+
+// IntHist is a streaming histogram of non-negative integer observations
+// (per-process step counts, phase counts), built for million-trial Monte
+// Carlo aggregation: Add is O(1) with no allocation once the value range
+// has been seen, worker-local histograms Merge associatively, and exact
+// nearest-rank quantiles with order-statistic confidence intervals come
+// straight from the counts — no per-trial sample retention, unlike the
+// sort-based Quantiles path.
+type IntHist struct {
+	counts []int64 // counts[v] = multiplicity of value v
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewIntHist returns an empty histogram with capacity for values in
+// [0, sizeHint) preallocated. Values at or above the hint still work;
+// the dense table grows geometrically.
+func NewIntHist(sizeHint int) *IntHist {
+	return &IntHist{counts: make([]int64, sizeHint)}
+}
+
+// Reset empties the histogram, retaining capacity.
+func (h *IntHist) Reset() {
+	clear(h.counts)
+	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+// Add records one observation of v. v must be non-negative.
+func (h *IntHist) Add(v int64) { h.AddN(v, 1) }
+
+// AddN records count observations of v.
+func (h *IntHist) AddN(v, count int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: IntHist.Add of negative value %d", v))
+	}
+	if count <= 0 {
+		return
+	}
+	if v >= int64(len(h.counts)) {
+		size := int64(len(h.counts))
+		if size == 0 {
+			size = 64
+		}
+		for size <= v {
+			size *= 2
+		}
+		grown := make([]int64, size)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[v] += count
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n += count
+	h.sum += v * count
+}
+
+// Merge folds o into h. Merging worker-local histograms in any order
+// yields the same histogram, so parallel aggregation stays deterministic.
+func (h *IntHist) Merge(o *IntHist) {
+	for v := o.min; v <= o.max && v < int64(len(o.counts)); v++ {
+		if c := o.counts[v]; c > 0 {
+			h.AddN(v, c)
+		}
+	}
+}
+
+// N returns the number of observations.
+func (h *IntHist) N() int64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *IntHist) Sum() int64 { return h.sum }
+
+// Mean returns the sample mean (0 for an empty histogram).
+func (h *IntHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest observation (0 for an empty histogram).
+func (h *IntHist) Min() int64 { return h.min }
+
+// Max returns the largest observation (0 for an empty histogram).
+func (h *IntHist) Max() int64 { return h.max }
+
+// rankValue returns the value holding the 1-based rank-th observation in
+// sorted order.
+func (h *IntHist) rankValue(rank int64) int64 {
+	var cum int64
+	for v := h.min; v <= h.max; v++ {
+		cum += h.counts[v]
+		if cum >= rank {
+			return v
+		}
+	}
+	return h.max
+}
+
+// Quantile returns the nearest-rank q-quantile, identical to
+// stats.Quantile on the expanded sample. An empty histogram returns 0.
+func (h *IntHist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.rankValue(nearestRank(q, h.n))
+}
+
+// QuantileCI returns the nearest-rank q-quantile with the same
+// order-statistic ~95% confidence interval as stats.QuantileCI on the
+// expanded sample. An empty histogram returns zeros.
+func (h *IntHist) QuantileCI(q float64) (v, lo, hi int64) {
+	if h.n == 0 {
+		return 0, 0, 0
+	}
+	rank := nearestRank(q, h.n)
+	delta := ciRankDelta(q, h.n)
+	clamp := func(r int64) int64 {
+		if r < 1 {
+			return 1
+		}
+		if r > h.n {
+			return h.n
+		}
+		return r
+	}
+	return h.rankValue(rank), h.rankValue(clamp(rank - delta)), h.rankValue(clamp(rank + delta))
+}

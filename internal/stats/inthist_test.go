@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIntHistMatchesSortedQuantiles pins IntHist's quantiles and CIs to
+// the sort-based reference on random samples: both aggregation paths
+// must report identical tables.
+func TestIntHistMatchesSortedQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		h := NewIntHist(0)
+		sample := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := int64(rng.Intn(300))
+			h.Add(v)
+			sample[i] = float64(v)
+		}
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+			want := Quantile(sample, q)
+			if got := h.Quantile(q); float64(got) != want {
+				t.Fatalf("trial %d n=%d q=%v: hist %d, sorted %v", trial, n, q, got, want)
+			}
+			wv, wlo, whi := QuantileCI(sample, q)
+			gv, glo, ghi := h.QuantileCI(q)
+			if float64(gv) != wv || float64(glo) != wlo || float64(ghi) != whi {
+				t.Fatalf("trial %d n=%d q=%v: hist CI (%d,%d,%d), sorted (%v,%v,%v)",
+					trial, n, q, gv, glo, ghi, wv, wlo, whi)
+			}
+		}
+		sum := Summarize(sample)
+		if h.Mean() != sum.Mean {
+			t.Fatalf("trial %d: mean %v != %v", trial, h.Mean(), sum.Mean)
+		}
+		if float64(h.Min()) != sum.Min || float64(h.Max()) != sum.Max {
+			t.Fatalf("trial %d: min/max (%d,%d) != (%v,%v)", trial, h.Min(), h.Max(), sum.Min, sum.Max)
+		}
+	}
+}
+
+// TestIntHistMergeDeterministic pins that merging worker shards in any
+// order equals single-histogram aggregation.
+func TestIntHistMergeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	whole := NewIntHist(64)
+	shards := make([]*IntHist, 4)
+	for i := range shards {
+		shards[i] = NewIntHist(0)
+	}
+	for i := 0; i < 2000; i++ {
+		v := int64(rng.Intn(1000))
+		whole.Add(v)
+		shards[i%len(shards)].Add(v)
+	}
+	for _, order := range [][]int{{0, 1, 2, 3}, {3, 1, 0, 2}} {
+		merged := NewIntHist(0)
+		for _, i := range order {
+			merged.Merge(shards[i])
+		}
+		if merged.N() != whole.N() || merged.Sum() != whole.Sum() {
+			t.Fatalf("order %v: n/sum (%d,%d) != (%d,%d)", order, merged.N(), merged.Sum(), whole.N(), whole.Sum())
+		}
+		for _, q := range []float64{0.1, 0.5, 0.99} {
+			if merged.Quantile(q) != whole.Quantile(q) {
+				t.Fatalf("order %v q=%v: %d != %d", order, q, merged.Quantile(q), whole.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestIntHistEdgeCases pins empty-histogram zeros, Reset reuse, and the
+// negative-value panic.
+func TestIntHistEdgeCases(t *testing.T) {
+	h := NewIntHist(8)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.N() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Add(5)
+	h.AddN(100, 3) // beyond the hint: grow path
+	if h.N() != 4 || h.Max() != 100 || h.Min() != 5 {
+		t.Fatalf("n=%d min=%d max=%d", h.N(), h.Min(), h.Max())
+	}
+	h.Reset()
+	if h.N() != 0 || h.Quantile(1) != 0 {
+		t.Fatal("Reset did not empty the histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	h.Add(-1)
+}

@@ -137,7 +137,7 @@ func QuantileCI(xs []float64, q float64) (v, lo, hi float64) {
 	sort.Float64s(cp)
 	n := int64(len(cp))
 	rank := nearestRank(q, n)
-	delta := int64(math.Ceil(1.96 * math.Sqrt(float64(n)*q*(1-q))))
+	delta := ciRankDelta(q, n)
 	clamp := func(r int64) int64 {
 		if r < 1 {
 			return 1
@@ -148,6 +148,14 @@ func QuantileCI(xs []float64, q float64) (v, lo, hi float64) {
 		return r
 	}
 	return cp[rank-1], cp[clamp(rank-delta)-1], cp[clamp(rank+delta)-1]
+}
+
+// ciRankDelta returns the rank half-width ceil(1.96 sqrt(n q (1-q))) of
+// the ~95% order-statistic interval around the nearest-rank q-quantile,
+// shared by QuantileCI and IntHist.QuantileCI so the two aggregation
+// paths report identical intervals.
+func ciRankDelta(q float64, n int64) int64 {
+	return int64(math.Ceil(1.96 * math.Sqrt(float64(n)*q*(1-q))))
 }
 
 // Proportion returns the fraction of true values and the half-width of its
