@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -27,11 +28,16 @@ type desFlags struct {
 	latency    string
 	loss       float64
 	partitions string
+	crash      string
+	restart    string
+	repros     string
+	replay     string
 }
 
 func (f *desFlags) active() bool {
 	return f.run || f.jsonOut != "" || f.ns != "" || f.protocols != "" ||
-		f.trials != 0 || f.latency != "" || f.loss != 0 || f.partitions != ""
+		f.trials != 0 || f.latency != "" || f.loss != 0 || f.partitions != "" ||
+		f.crash != "" || f.restart != "" || f.repros != "" || f.replay != ""
 }
 
 // desDefaultNs is the committed E18 sweep: the regime where log log n
@@ -40,15 +46,28 @@ var desDefaultNs = []int{1000, 10000, 100000}
 
 const desDefaultTrials = 5
 
+// desSweep is the resolved, validated input set of one flag-driven sweep.
+type desSweep struct {
+	ns        []int
+	protocols []string
+	net       des.NetConfig
+	chaos     des.ChaosConfig
+	// weakened marks the amnesiac-server restart variant: the memory
+	// server wipes its registers on restart, which leaves the atomic
+	// model — run errors and violations become findings, not failures.
+	weakened bool
+	trials   int
+}
+
 // validate parses and checks every -des-* value, returning the resolved
 // sweep inputs.
-func (f *desFlags) validate() (ns []int, protocols []string, net des.NetConfig, trials int, err error) {
+func (f *desFlags) validate() (sw desSweep, err error) {
 	if !f.run {
-		return nil, nil, net, 0, fmt.Errorf("-des-json/-des-n/-des-protocols/-des-trials/-des-latency/-des-loss/-des-partition require -des")
+		return sw, fmt.Errorf("-des-json/-des-n/-des-protocols/-des-trials/-des-latency/-des-loss/-des-partition/-des-crash/-des-restart/-des-fault-repros require -des")
 	}
-	ns = desDefaultNs
+	sw.ns = desDefaultNs
 	if f.ns != "" {
-		ns = nil
+		sw.ns = nil
 		for _, s := range strings.Split(f.ns, ",") {
 			s = strings.TrimSpace(s)
 			if s == "" {
@@ -56,17 +75,17 @@ func (f *desFlags) validate() (ns []int, protocols []string, net des.NetConfig, 
 			}
 			n, perr := strconv.Atoi(s)
 			if perr != nil || n < 1 {
-				return nil, nil, net, 0, fmt.Errorf("-des-n: bad process count %q", s)
+				return sw, fmt.Errorf("-des-n: bad process count %q", s)
 			}
-			ns = append(ns, n)
+			sw.ns = append(sw.ns, n)
 		}
-		if len(ns) == 0 {
-			return nil, nil, net, 0, fmt.Errorf("-des-n: no process counts in %q", f.ns)
+		if len(sw.ns) == 0 {
+			return sw, fmt.Errorf("-des-n: no process counts in %q", f.ns)
 		}
 	}
-	protocols = des.Protocols()
+	sw.protocols = des.Protocols()
 	if f.protocols != "" {
-		protocols = nil
+		sw.protocols = nil
 		known := make(map[string]bool)
 		for _, p := range des.Protocols() {
 			known[p] = true
@@ -77,24 +96,27 @@ func (f *desFlags) validate() (ns []int, protocols []string, net des.NetConfig, 
 				continue
 			}
 			if !known[s] {
-				return nil, nil, net, 0, fmt.Errorf("-des-protocols: unknown protocol %q (want %s)", s, strings.Join(des.Protocols(), ", "))
+				return sw, fmt.Errorf("-des-protocols: unknown protocol %q (want %s)", s, strings.Join(des.Protocols(), ", "))
 			}
-			protocols = append(protocols, s)
+			sw.protocols = append(sw.protocols, s)
 		}
-		if len(protocols) == 0 {
-			return nil, nil, net, 0, fmt.Errorf("-des-protocols: no protocols in %q", f.protocols)
+		if len(sw.protocols) == 0 {
+			return sw, fmt.Errorf("-des-protocols: no protocols in %q", f.protocols)
 		}
 	}
 	if f.latency != "" {
-		net.Latency, err = des.ParseLatency(f.latency)
+		sw.net.Latency, err = des.ParseLatency(f.latency)
 		if err != nil {
-			return nil, nil, net, 0, fmt.Errorf("-des-latency: %w", err)
+			return sw, fmt.Errorf("-des-latency: %w", err)
 		}
 	}
-	if f.loss < 0 || f.loss > 0.99 {
-		return nil, nil, net, 0, fmt.Errorf("-des-loss: %g out of range [0, 0.99]", f.loss)
+	// The >=/<= shape rejects NaN too: `loss < 0 || loss > 0.99` silently
+	// accepts NaN (every comparison is false), which would then corrupt
+	// every Bernoulli draw of the sweep.
+	if !(f.loss >= 0 && f.loss <= 0.99) {
+		return sw, fmt.Errorf("-des-loss: %g out of range [0, 0.99]", f.loss)
 	}
-	net.Loss = f.loss
+	sw.net.Loss = f.loss
 	if f.partitions != "" {
 		for _, s := range strings.Split(f.partitions, ",") {
 			s = strings.TrimSpace(s)
@@ -103,25 +125,59 @@ func (f *desFlags) validate() (ns []int, protocols []string, net des.NetConfig, 
 			}
 			p, perr := des.ParsePartition(s)
 			if perr != nil {
-				return nil, nil, net, 0, fmt.Errorf("-des-partition: %w", perr)
+				return sw, fmt.Errorf("-des-partition: %w", perr)
 			}
-			net.Partitions = append(net.Partitions, p)
+			sw.net.Partitions = append(sw.net.Partitions, p)
 		}
 	}
-	trials = f.trials
-	if trials < 0 {
-		return nil, nil, net, 0, fmt.Errorf("-des-trials: %d must be positive", trials)
+	if f.crash == "" {
+		if f.restart != "" {
+			return sw, fmt.Errorf("-des-restart requires -des-crash: a restart variant without a crash schedule does nothing")
+		}
+		if f.repros != "" {
+			return sw, fmt.Errorf("-des-fault-repros requires -des-crash: repro artifacts record crash schedules")
+		}
+	} else {
+		sw.chaos, err = des.ParseChaosSpec(f.crash)
+		if err != nil {
+			return sw, fmt.Errorf("-des-crash: %w", err)
+		}
+		switch f.restart {
+		case "", "durable":
+			sw.chaos.ProcRestart, sw.chaos.ServerRestart = des.RestartDurable, des.RestartDurable
+		case "amnesiac":
+			// Processes lose their state; the server stays durable, so
+			// the shared objects remain atomic and safety must hold.
+			sw.chaos.ProcRestart, sw.chaos.ServerRestart = des.RestartAmnesiac, des.RestartDurable
+		case "amnesiac-server":
+			sw.chaos.ProcRestart, sw.chaos.ServerRestart = des.RestartAmnesiac, des.RestartAmnesiac
+			sw.weakened = true
+		default:
+			return sw, fmt.Errorf("-des-restart: unknown variant %q (want durable, amnesiac, or amnesiac-server)", f.restart)
+		}
 	}
-	if trials == 0 {
-		trials = desDefaultTrials
+	sw.trials = f.trials
+	if sw.trials < 0 {
+		return sw, fmt.Errorf("-des-trials: %d must be positive", sw.trials)
+	}
+	if sw.trials == 0 {
+		sw.trials = desDefaultTrials
 	}
 	// One throwaway validation run catches config-level errors (e.g. a
-	// partition that never heals) before the sweep starts.
-	probe := des.Config{N: 1, Protocol: protocols[0], Net: net, Seed: 1}
+	// partition that never heals) before the sweep starts; the chaos plan
+	// is validated statically (a weakened probe run may legitimately
+	// fail, which is a finding, not a flag error).
+	probe := des.Config{N: 1, Protocol: sw.protocols[0], Net: sw.net, Seed: 1}
 	if _, perr := des.Run(probe); perr != nil {
-		return nil, nil, net, 0, fmt.Errorf("-des: %w", perr)
+		return sw, fmt.Errorf("-des: %w", perr)
 	}
-	return ns, protocols, net, trials, nil
+	if sw.chaos.Active() {
+		chk := des.Config{N: 2, Protocol: sw.protocols[0], Net: sw.net, Chaos: sw.chaos, Seed: 1}
+		if _, perr := chk.ChaosSchedule(); perr != nil {
+			return sw, fmt.Errorf("-des-crash: %w", perr)
+		}
+	}
+	return sw, nil
 }
 
 // desRecord is the machine-readable record written by -des-json.
@@ -132,6 +188,8 @@ type desRecord struct {
 	Latency    string   `json:"latency"`
 	Loss       float64  `json:"loss"`
 	Partitions []string `json:"partitions,omitempty"`
+	Crash      string   `json:"crash,omitempty"`
+	Restart    string   `json:"restart,omitempty"`
 	Rows       []desRow `json:"rows"`
 }
 
@@ -154,14 +212,25 @@ type desRow struct {
 	VirtualMsMean float64 `json:"virtual_ms_mean"`
 	AllDecided    bool    `json:"all_decided"`
 	Violations    int     `json:"violations"`
+	Crashes       int64   `json:"crashes,omitempty"`
+	Restarts      int64   `json:"restarts,omitempty"`
+	Wipes         int64   `json:"wipes,omitempty"`
+	Resyncs       int64   `json:"resyncs,omitempty"`
+	GaveUp        int     `json:"gave_up,omitempty"`
+	RunErrors     int     `json:"run_errors,omitempty"`
 }
 
 // runDESSweep executes the flag-driven DES sweep: for each (n, protocol)
 // cell it runs `trials` seeds derived from the master seed, prints one
 // table row, and optionally writes the JSON record. Deterministic in
 // (seed, flags).
+//
+// Under a chaos schedule with atomic semantics (durable server) any
+// safety violation fails the sweep; under the weakened amnesiac-server
+// variant violations and run errors are findings, reported in the table
+// and — with -des-fault-repros — shrunk into replayable artifacts.
 func runDESSweep(out io.Writer, df *desFlags, seed uint64, format string) error {
-	ns, protocols, net, trials, err := df.validate()
+	sw, err := df.validate()
 	if err != nil {
 		return err
 	}
@@ -172,42 +241,60 @@ func runDESSweep(out io.Writer, df *desFlags, seed uint64, format string) error 
 	rec := desRecord{
 		Schema:  "conciliator-des/v1",
 		Seed:    seed,
-		Trials:  trials,
-		Latency: net.Latency.String(),
-		Loss:    net.Loss,
+		Trials:  sw.trials,
+		Latency: sw.net.Latency.String(),
+		Loss:    sw.net.Loss,
+		Crash:   df.crash,
+		Restart: df.restart,
 	}
-	if net.Latency.Mean <= 0 {
+	if sw.net.Latency.Mean <= 0 {
 		rec.Latency = "exp:1ms" // the engine default, applied per run
 	}
-	for _, p := range net.Partitions {
+	for _, p := range sw.net.Partitions {
 		rec.Partitions = append(rec.Partitions, p.String())
 	}
 
-	tbl := experiment.Table{
-		ID:      "DES",
-		Title:   fmt.Sprintf("message-passing sweep (latency %s, loss %g, %d partitions, %d trials)", rec.Latency, net.Loss, len(net.Partitions), trials),
-		Columns: []string{"n", "protocol", "rounds/phase", "phases", "steps/proc", "p99", "max", "retransmits", "virtual ms", "all decided", "violations"},
+	chaotic := sw.chaos.Active()
+	title := fmt.Sprintf("message-passing sweep (latency %s, loss %g, %d partitions, %d trials)", rec.Latency, sw.net.Loss, len(sw.net.Partitions), sw.trials)
+	columns := []string{"n", "protocol", "rounds/phase", "phases", "steps/proc", "p99", "max", "retransmits", "virtual ms", "all decided", "violations"}
+	if chaotic {
+		title = fmt.Sprintf("chaos sweep (latency %s, loss %g, crash %s, restart %s, %d trials)", rec.Latency, sw.net.Loss, df.crash, restartLabel(df.restart), sw.trials)
+		columns = append(columns, "crashes", "restarts", "wipes", "resyncs", "gave up", "run errors")
 	}
+	tbl := experiment.Table{ID: "DES", Title: title, Columns: columns}
 
+	var (
+		atomicViolations int
+		reprosSaved      int
+	)
 	// Per-trial seeds come from a named fork of the master seed, so the
 	// sweep composition (which cells run, in what order) cannot change
 	// any cell's results.
 	seedRng := xrand.New(seed).ForkNamed(0xde5)
-	for _, n := range ns {
-		for _, protocol := range protocols {
-			cellSeeds := make([]uint64, trials)
+	for _, n := range sw.ns {
+		for _, protocol := range sw.protocols {
+			cellSeeds := make([]uint64, sw.trials)
 			for t := range cellSeeds {
 				cellSeeds[t] = seedRng.Uint64()
 			}
 			var (
-				steps  []float64
-				vtimes []float64
-				row    = desRow{N: n, Protocol: protocol, AllDecided: true}
+				steps      []float64
+				vtimes     []float64
+				row        = desRow{N: n, Protocol: protocol, AllDecided: true}
+				cellRepros int
 			)
 			for _, s := range cellSeeds {
-				res, rerr := des.Run(des.Config{N: n, Protocol: protocol, Net: net, Seed: s})
+				cfg := des.Config{N: n, Protocol: protocol, Net: sw.net, Chaos: sw.chaos, Seed: s}
+				res, rerr := des.Run(cfg)
 				if rerr != nil {
-					return fmt.Errorf("des n=%d %s: %w", n, protocol, rerr)
+					if !sw.weakened {
+						return fmt.Errorf("des n=%d %s: %w", n, protocol, rerr)
+					}
+					// Weakened regime: the run itself may wedge (e.g. a
+					// process blocked on state the server forgot). That is
+					// a measured outcome of leaving the atomic model.
+					row.RunErrors++
+					continue
 				}
 				row.Rounds = res.Rounds
 				if res.Phases > row.Phases {
@@ -224,8 +311,27 @@ func runDESSweep(out io.Writer, df *desFlags, seed uint64, format string) error 
 				row.Events += res.Events
 				row.AllDecided = row.AllDecided && res.AllDecided
 				row.Violations += len(res.Violations)
+				row.Crashes += res.Crashes
+				row.Restarts += res.Restarts
+				row.Wipes += res.Wipes
+				row.Resyncs += res.Resyncs
+				row.GaveUp += res.GaveUp
 				if m := res.MaxSteps(); m > row.StepsMax {
 					row.StepsMax = m
+				}
+				if len(res.Violations) > 0 {
+					if !sw.weakened {
+						atomicViolations += len(res.Violations)
+					}
+					if df.repros != "" && cellRepros < desMaxReprosPerCell {
+						path, serr := shrinkAndSaveRepro(cfg, df.repros, cellRepros)
+						if serr != nil {
+							return fmt.Errorf("des n=%d %s seed %d: shrinking repro: %w", n, protocol, s, serr)
+						}
+						fmt.Fprintf(out, "saved fault repro: %s\n", path)
+						cellRepros++
+						reprosSaved++
+					}
 				}
 			}
 			sum := stats.Summarize(steps)
@@ -235,8 +341,12 @@ func runDESSweep(out io.Writer, df *desFlags, seed uint64, format string) error 
 			vsum := stats.Summarize(vtimes)
 			row.VirtualMsMean = vsum.Mean
 			rec.Rows = append(rec.Rows, row)
-			tbl.AddRow(n, protocol, row.Rounds, row.Phases, sum.String(), qs[2], row.StepsMax,
-				row.Retransmits, vsum.String(), fmt.Sprintf("%v", row.AllDecided), row.Violations)
+			cells := []any{n, protocol, row.Rounds, row.Phases, sum.String(), qs[2], row.StepsMax,
+				row.Retransmits, vsum.String(), fmt.Sprintf("%v", row.AllDecided), row.Violations}
+			if chaotic {
+				cells = append(cells, row.Crashes, row.Restarts, row.Wipes, row.Resyncs, row.GaveUp, row.RunErrors)
+			}
+			tbl.AddRow(cells...)
 		}
 	}
 
@@ -258,6 +368,72 @@ func runDESSweep(out io.Writer, df *desFlags, seed uint64, format string) error 
 		if werr := os.WriteFile(df.jsonOut, data, 0o644); werr != nil {
 			return fmt.Errorf("writing DES record: %w", werr)
 		}
+	}
+	if atomicViolations > 0 {
+		return fmt.Errorf("des: %d safety violations under atomic semantics — the shared objects are durable, so this is a protocol or simulator bug", atomicViolations)
+	}
+	return nil
+}
+
+// desMaxReprosPerCell caps artifact output per (n, protocol) cell: the
+// first failures are the interesting ones; hundreds of near-identical
+// artifacts are noise.
+const desMaxReprosPerCell = 2
+
+// restartLabel names the restart variant for table titles.
+func restartLabel(v string) string {
+	if v == "" {
+		return "durable"
+	}
+	return v
+}
+
+// shrinkAndSaveRepro takes a violating chaos config, ddmin-shrinks its
+// materialized schedule against "still violates", and writes the
+// des-fault-repro/v1 artifact into dir.
+func shrinkAndSaveRepro(cfg des.Config, dir string, idx int) (string, error) {
+	events, err := cfg.ChaosSchedule()
+	if err != nil {
+		return "", err
+	}
+	reproduces := func(cand []des.ChaosEvent) bool {
+		c := cfg
+		c.Chaos = des.ChaosConfig{Events: cand, ProcRestart: cfg.Chaos.ProcRestart, ServerRestart: cfg.Chaos.ServerRestart}
+		res, rerr := des.Run(c)
+		return rerr == nil && len(res.Violations) > 0
+	}
+	shrunk := des.ShrinkChaos(events, 256, reproduces)
+	final := cfg
+	final.Chaos = des.ChaosConfig{Events: shrunk, ProcRestart: cfg.Chaos.ProcRestart, ServerRestart: cfg.Chaos.ServerRestart}
+	res, rerr := des.Run(final)
+	if rerr != nil || len(res.Violations) == 0 {
+		// The shrunk schedule must still violate — ShrinkChaos guarantees
+		// this when the input violates, so reaching here is a bug.
+		return "", fmt.Errorf("shrunk schedule no longer reproduces the violation (err=%v)", rerr)
+	}
+	repro := des.BuildRepro(final, shrunk, res.Violations)
+	path := filepath.Join(dir, fmt.Sprintf("des_fault_n%d_%s_%d.json", cfg.N, cfg.Protocol, idx))
+	if err := repro.Save(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// runDESFaultReplay loads a committed des-fault-repro/v1 artifact and
+// replays it, verifying the recorded violations reproduce byte-for-byte.
+func runDESFaultReplay(out io.Writer, path string) error {
+	repro, err := des.LoadFaultRepro(path)
+	if err != nil {
+		return err
+	}
+	res, err := repro.Replay()
+	if err != nil {
+		return fmt.Errorf("replaying %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "replayed %s: schema %s, n=%d protocol=%s seed=%d\n", path, repro.Schema, repro.N, repro.Protocol, repro.Seed)
+	fmt.Fprintf(out, "  %d chaos events reproduced %d violation(s) byte-identically:\n", len(repro.Chaos), len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Fprintf(out, "  - %s: %s\n", v.Monitor, v.Detail)
 	}
 	return nil
 }

@@ -135,6 +135,10 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&df.latency, "des-latency", "", "DES latency distribution kind:mean, kinds fixed|uniform|exp (default exp:1ms)")
 	fs.Float64Var(&df.loss, "des-loss", 0, "DES per-message loss probability in [0, 0.99]")
 	fs.StringVar(&df.partitions, "des-partition", "", "comma-separated DES partitions from:until:frac (e.g. 5ms:25ms:0.3)")
+	fs.StringVar(&df.crash, "des-crash", "", "DES crash schedule proc:<rate>,server:<windows> (e.g. proc:0.2,server:1)")
+	fs.StringVar(&df.restart, "des-restart", "", "DES restart variant: durable, amnesiac, or amnesiac-server (default durable)")
+	fs.StringVar(&df.repros, "des-fault-repros", "", "write shrunk des-fault-repro/v1 artifacts for violating chaos runs into this directory")
+	fs.StringVar(&df.replay, "des-fault-replay", "", "replay a des-fault-repro/v1 artifact and verify its violations reproduce")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -205,6 +209,17 @@ func run(args []string, out io.Writer) error {
 		case "text", "markdown", "tsv":
 		default:
 			return fmt.Errorf("unknown format %q (want text, markdown, or tsv)", *format)
+		}
+		if df.replay != "" {
+			// Replay is a standalone shape: it re-executes a committed
+			// artifact's recorded config verbatim, so sweep flags have
+			// nothing to modify.
+			if df.run || df.jsonOut != "" || df.ns != "" || df.protocols != "" ||
+				df.trials != 0 || df.latency != "" || df.loss != 0 || df.partitions != "" ||
+				df.crash != "" || df.restart != "" || df.repros != "" {
+				return fmt.Errorf("-des-fault-replay cannot be combined with other -des flags: the artifact records its full configuration")
+			}
+			return runDESFaultReplay(out, df.replay)
 		}
 		if *trials != 0 && df.trials == 0 {
 			df.trials = *trials

@@ -187,6 +187,13 @@ type Config struct {
 	Inputs []int
 	// Net is the network model.
 	Net NetConfig
+	// Chaos is the crash-recovery layer: seeded crash schedules for
+	// processes and the memory server with durable/amnesiac restarts.
+	// The zero value means no crashes.
+	Chaos ChaosConfig
+	// Retry tunes the client retry policy (timeout, capped exponential
+	// backoff, jitter, give-up). Zero fields take the engine defaults.
+	Retry RetryPolicy
 	// MaxEvents bounds the engine (0 = 1<<26). Exceeding it reports
 	// nontermination.
 	MaxEvents int64
@@ -209,6 +216,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxPhases <= 0 {
 		c.MaxPhases = 64
 	}
+	c.Chaos = c.Chaos.withDefaults()
 	return c
 }
 
@@ -221,10 +229,13 @@ func (c Config) validate() error {
 	default:
 		return fmt.Errorf("des: unknown protocol %q (want %s)", c.Protocol, strings.Join(Protocols(), ", "))
 	}
-	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+	// The >=/<= shapes reject NaN too: a NaN epsilon, loss, or fraction
+	// would pass naive two-sided comparisons and silently corrupt the
+	// run (NaN compares false against everything).
+	if !(c.Epsilon > 0 && c.Epsilon < 1) {
 		return fmt.Errorf("des: epsilon must be in (0, 1), got %g", c.Epsilon)
 	}
-	if c.Net.Loss < 0 || c.Net.Loss > 0.99 {
+	if !(c.Net.Loss >= 0 && c.Net.Loss <= 0.99) {
 		return fmt.Errorf("des: loss must be in [0, 0.99], got %g (loss 1 would drop every message forever)", c.Net.Loss)
 	}
 	if c.Inputs != nil && len(c.Inputs) != c.N {
@@ -239,11 +250,40 @@ func (c Config) validate() error {
 		if p.From < 0 || p.Until <= p.From {
 			return fmt.Errorf("des: partition %d window [%v, %v) is empty or negative; partitions must heal", i, p.From, p.Until)
 		}
-		if p.Frac <= 0 || p.Frac > 1 {
+		if !(p.Frac > 0 && p.Frac <= 1) {
 			return fmt.Errorf("des: partition %d isolates fraction %g (want (0, 1])", i, p.Frac)
 		}
 	}
-	return nil
+	if err := c.Chaos.validate(c.N); err != nil {
+		return err
+	}
+	return c.Retry.validate()
+}
+
+// ProcOutcome is a process's terminal state in a Result.
+type ProcOutcome uint8
+
+const (
+	// OutcomeUndecided: the run ended (budget, deadlock) before the
+	// process decided.
+	OutcomeUndecided ProcOutcome = iota
+	// OutcomeDecided: the process committed a decision.
+	OutcomeDecided
+	// OutcomeGaveUp: the process exhausted its retry budget and
+	// surfaced graceful degradation instead of blocking the run.
+	OutcomeGaveUp
+)
+
+func (o ProcOutcome) String() string {
+	switch o {
+	case OutcomeUndecided:
+		return "undecided"
+	case OutcomeDecided:
+		return "decided"
+	case OutcomeGaveUp:
+		return "gave-up"
+	}
+	return fmt.Sprintf("ProcOutcome(%d)", int(o))
 }
 
 // Result is the outcome of one DES run.
@@ -274,6 +314,23 @@ type Result struct {
 	VirtualTime time.Duration
 	// Events is the number of events the engine handled.
 	Events int64
+	// Chaos accounting: crash events executed, restarts performed,
+	// memory-server register wipes (amnesiac server restarts), session
+	// resyncs (amnesiac process restarts), messages discarded because
+	// the destination node was down, and processes that exhausted their
+	// retry budget.
+	Crashes    int64
+	Restarts   int64
+	Wipes      int64
+	Resyncs    int64
+	ChaosDrops int64
+	GaveUp     int
+	// Outcomes[i] is process i's terminal state.
+	Outcomes []ProcOutcome
+	// Server-side exactly-once accounting: logical operations applied
+	// and duplicate requests absorbed by the dedup cache.
+	OpsApplied int64
+	DupDrops   int64
 	// Violations is everything the attached safety monitors reported.
 	Violations []fault.Violation
 }

@@ -19,8 +19,15 @@ const (
 	// evDeliver hands msg to node `to` (a process, or the memory server).
 	evDeliver evKind = iota
 	// evTimer is a retransmission timer at process `to`; msg.opSeq names
-	// the operation the timer guards, so stale timers are no-ops.
+	// the operation the timer guards (and msg.inc its incarnation), so
+	// stale timers are no-ops.
 	evTimer
+	// evCrash takes node `to` down; msg.key carries the downtime in
+	// virtual ns and msg.val the RestartKind.
+	evCrash
+	// evRestart brings node `to` back up; msg.val carries the
+	// RestartKind that decides what survived.
+	evRestart
 )
 
 // event is one scheduled occurrence. It is stored by value in the heap

@@ -1,0 +1,86 @@
+package des
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// FuzzDESCrashSchedule drives the engine across the (crash schedule,
+// restart variant, retry policy, protocol, seed) space under atomic
+// semantics — the server's restarts are always durable, so the shared
+// objects never lose state — and asserts the chaos contract: every run
+// replays byte-identically from its configuration, the safety monitors
+// stay quiet, and no run wedges the event loop (it either decides
+// everywhere or surfaces per-process give-ups). Amnesiac *server*
+// restarts are deliberately out of scope: wiping the registers breaks
+// the atomic model and violations there are findings, not bugs.
+func FuzzDESCrashSchedule(f *testing.F) {
+	f.Add(uint64(1), 0.0, uint8(0), uint32(0), 0.0, uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(2), 0.3, uint8(1), uint32(1), 0.2, uint8(4), uint8(20), uint8(1))
+	f.Add(uint64(3), 1.0, uint8(0), uint32(3), 0.9, uint8(0), uint8(5), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, procRate float64, procRestart uint8,
+		serverWindows uint32, jitter float64, meanDownMs uint8, maxRetries uint8, protoIdx uint8) {
+		protocol := Protocols()[int(protoIdx)%len(Protocols())]
+		cfg := Config{
+			N:        16,
+			Protocol: protocol,
+			Seed:     seed,
+			Net:      NetConfig{Latency: LatencyDist{Kind: LatExp, Mean: time.Millisecond}},
+			// A generous but finite budget; admissible chaos at n=16
+			// needs a tiny fraction of this.
+			MaxEvents: 1 << 22,
+		}
+		// Clamp into the admissible region: rates in [0, 1], finite
+		// downtimes, jitter below 1. NaN guards first — NaN inputs are
+		// the validator's job, and the validator has its own tests.
+		if procRate == procRate && procRate > 0 {
+			if procRate > 1 {
+				procRate = 1
+			}
+			cfg.Chaos.ProcRate = procRate
+			cfg.Chaos.ProcRestart = RestartKind(procRestart % 2)
+		}
+		cfg.Chaos.ServerWindows = int(serverWindows % 4)
+		cfg.Chaos.ServerRestart = RestartDurable // atomic semantics only
+		if cfg.Chaos.Active() {
+			cfg.Chaos.MeanDown = time.Duration(int(meanDownMs)%8+1) * time.Millisecond
+			cfg.Chaos.Horizon = 30 * time.Millisecond
+		}
+		if jitter == jitter && jitter > 0 {
+			if jitter >= 1 {
+				jitter = 0.99
+			}
+			cfg.Retry.Jitter = jitter
+		}
+		// A retry budget can legitimately produce give-ups (that is the
+		// graceful-degradation path, not a failure); keep it generous
+		// enough that it only triggers under genuinely long outages.
+		if maxRetries > 0 {
+			cfg.Retry.MaxRetries = int(maxRetries%64) + 16
+		}
+
+		a, errA := Run(cfg)
+		b, errB := Run(cfg)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("replay determinism broken: errors %v vs %v", errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("replay determinism broken under %+v:\n%+v\nvs\n%+v", cfg.Chaos, a, b)
+		}
+		if errA != nil {
+			t.Fatalf("admissible chaos config failed to terminate: %v (chaos %+v)", errA, cfg.Chaos)
+		}
+		if len(a.Violations) > 0 {
+			t.Fatalf("safety violations under atomic semantics, chaos %+v: %v", cfg.Chaos, a.Violations)
+		}
+		if !a.AllDecided && a.GaveUp == 0 {
+			t.Fatalf("run ended with undecided processes and no give-ups: %+v", a)
+		}
+		for i, o := range a.Outcomes {
+			if o == OutcomeUndecided {
+				t.Fatalf("process %d left undecided without giving up: %+v", i, a)
+			}
+		}
+	})
+}

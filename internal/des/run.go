@@ -33,6 +33,10 @@ const (
 	pcACDirtyRead      // clean path: checking dirty
 	pcACCleanRead      // clean path: re-reading clean
 
+	// pcResync: a freshly amnesiac incarnation re-establishing its RPC
+	// session with the memory server before re-running the protocol.
+	pcResync
+
 	pcDone // decided
 )
 
@@ -59,6 +63,16 @@ type proc struct {
 	steps   int64
 	retrans int64
 
+	// Chaos state. seedBase is the seed incarnation 0's RNG was reseeded
+	// from; incarnation k > 0 reseeds from its named fork keyed by k, so
+	// amnesiac restarts draw fresh-but-replayable protocol randomness.
+	inc       uint32
+	down      bool
+	gaveUp    bool
+	opRetries int
+	seedBase  uint64
+	resyncs   int64
+
 	decided  bool
 	decision int
 }
@@ -76,8 +90,25 @@ type runner struct {
 	now     int64
 	decided int
 	events  int64
-	rto0    int64
-	rtoCap  int64
+
+	// Resolved retry policy.
+	rto0       int64
+	rtoCap     int64
+	backoff    float64
+	jitter     float64
+	maxRetries int
+	retryRng   *xrand.Rand
+	// timers gates the retransmission machinery: armed whenever the
+	// network can lose messages or the chaos layer can drop them (a
+	// down node discards deliveries).
+	timers bool
+
+	// Chaos accounting.
+	gaveUp     int
+	crashes    int64
+	restarts   int64
+	chaosDrops int64
+
 	// overflowed is set when a process exceeds the phase budget; the
 	// main loop converts it to a run error.
 	overflowed *proc
@@ -123,28 +154,46 @@ func Run(cfg Config) (Result, error) {
 
 	root := xrand.New(cfg.Seed)
 	// Disjoint named forks: the network's stream is independent of every
-	// process's protocol randomness, keeping the adversary oblivious.
-	netRng := root.ForkNamed(0x4e57)  // "NET"
-	procRng := root.ForkNamed(0xa190) // per-process seed stream
+	// process's protocol randomness, keeping the adversary oblivious;
+	// retry jitter and the chaos schedule draw from their own forks for
+	// the same reason. Draw order here must match Config.ChaosSchedule.
+	netRng := root.ForkNamed(0x4e57)   // "NET"
+	procRng := root.ForkNamed(0xa190)  // per-process seed stream
+	retryRng := root.ForkNamed(0x4a77) // retry-timer jitter
+	chaosRng := root.ForkNamed(0xc405) // crash schedule materialization
 
 	mon := fault.NewMonitor()
 	rounds, persCfg := protocolRounds(cfg.Protocol, cfg.N, cfg.Epsilon)
 
 	d := &runner{
-		cfg:     cfg,
-		net:     newNetwork(cfg.Net, cfg.N, netRng),
-		srv:     newServer(cfg.N, mon),
-		mon:     mon,
-		procs:   make([]proc, cfg.N),
-		rounds:  rounds,
-		persCfg: persCfg,
+		cfg:      cfg,
+		net:      newNetwork(cfg.Net, cfg.N, netRng),
+		srv:      newServer(cfg.N, mon),
+		mon:      mon,
+		procs:    make([]proc, cfg.N),
+		rounds:   rounds,
+		persCfg:  persCfg,
+		retryRng: retryRng,
 	}
-	meanNs := cfg.Net.Latency.Mean.Nanoseconds()
-	d.rto0 = 8 * meanNs
-	if d.rto0 < 1000 {
-		d.rto0 = 1000
+	d.rto0 = cfg.Retry.RTO.Nanoseconds()
+	if d.rto0 <= 0 {
+		d.rto0 = 8 * cfg.Net.Latency.Mean.Nanoseconds()
+		if d.rto0 < 1000 {
+			d.rto0 = 1000
+		}
 	}
-	d.rtoCap = 64 * d.rto0
+	d.rtoCap = cfg.Retry.Cap.Nanoseconds()
+	if d.rtoCap <= 0 {
+		d.rtoCap = 64 * d.rto0
+	}
+	d.backoff = cfg.Retry.Backoff
+	if d.backoff == 0 {
+		d.backoff = 2
+	}
+	d.jitter = cfg.Retry.Jitter
+	d.maxRetries = cfg.Retry.MaxRetries
+	chaos := materializeChaos(cfg.Chaos, cfg.N, chaosRng)
+	d.timers = d.net.lossy || len(chaos) > 0
 
 	inputs := cfg.Inputs
 	if inputs == nil {
@@ -158,39 +207,68 @@ func Run(cfg Config) (Result, error) {
 		p.id = int32(i)
 		p.input = inputs[i]
 		p.prefer = inputs[i]
-		procRng.ForkNamedInto(uint64(i), &p.rng)
+		p.seedBase = procRng.SeedNamed(uint64(i))
+		p.rng.Reseed(p.seedBase)
 	}
 	// All processes wake at virtual time zero; their first requests get
 	// distinct latencies, which staggers them naturally.
 	for i := range d.procs {
 		d.startPhase(&d.procs[i])
 	}
+	// Crash events enter the queue after the initial sends, so a crash
+	// at t=0 still lands after every process issued its first request —
+	// deterministically, via the (at, seq) tiebreak.
+	for _, e := range chaos {
+		d.q.push(e.At.Nanoseconds(), e.Target, evCrash,
+			message{key: uint64(e.Down.Nanoseconds()), val: int32(e.Restart)})
+	}
 
 	var err error
 loop:
-	for d.decided < cfg.N {
+	for d.decided+d.gaveUp < cfg.N {
 		ev, ok := d.q.pop()
 		if !ok {
-			mon.Report("nontermination", "event queue drained with %d of %d processes undecided", cfg.N-d.decided, cfg.N)
-			err = fmt.Errorf("des: deadlock: queue empty with %d processes undecided", cfg.N-d.decided)
+			pending := cfg.N - d.decided - d.gaveUp
+			mon.Report("nontermination", "event queue drained with %d of %d processes undecided", pending, cfg.N)
+			err = fmt.Errorf("des: deadlock: queue empty with %d processes undecided", pending)
 			break
 		}
 		d.events++
 		if d.events > cfg.MaxEvents {
-			mon.Report("nontermination", "event budget %d exhausted with %d of %d processes undecided", cfg.MaxEvents, cfg.N-d.decided, cfg.N)
-			err = fmt.Errorf("des: event budget %d exhausted with %d processes undecided", cfg.MaxEvents, cfg.N-d.decided)
+			pending := cfg.N - d.decided - d.gaveUp
+			mon.Report("nontermination", "event budget %d exhausted with %d of %d processes undecided", cfg.MaxEvents, pending, cfg.N)
+			err = fmt.Errorf("des: event budget %d exhausted with %d processes undecided", cfg.MaxEvents, pending)
 			break
 		}
 		d.now = ev.at
 		switch ev.kind {
 		case evDeliver:
 			if ev.to == serverID {
+				if d.srv.down {
+					d.chaosDrops++
+					break
+				}
 				d.srv.handle(&d.q, d.net, d.now, ev.msg)
 			} else {
-				d.onReply(&d.procs[ev.to], ev.msg)
+				p := &d.procs[ev.to]
+				if p.down {
+					d.chaosDrops++
+					break
+				}
+				d.onReply(p, ev.msg)
 			}
 		case evTimer:
-			d.onTimer(&d.procs[ev.to], ev.msg)
+			p := &d.procs[ev.to]
+			// Timers die with the incarnation that armed them, and a
+			// down or resigned process keeps no timers alive.
+			if p.down || p.gaveUp || ev.msg.inc != p.inc {
+				break
+			}
+			d.onTimer(p, ev.msg)
+		case evCrash:
+			d.onCrash(ev.to, ev.msg)
+		case evRestart:
+			d.onRestart(ev.to, ev.msg)
 		}
 		if perr := d.phaseOverflow(); perr != nil {
 			err = perr
@@ -202,10 +280,19 @@ loop:
 	outs := make([]int, cfg.N)
 	finished := make([]bool, cfg.N)
 	steps := make([]int64, cfg.N)
+	outcomes := make([]ProcOutcome, cfg.N)
 	phases := 0
 	for i := range d.procs {
 		p := &d.procs[i]
 		outs[i], finished[i], steps[i] = p.decision, p.decided, p.steps
+		switch {
+		case p.decided:
+			outcomes[i] = OutcomeDecided
+		case p.gaveUp:
+			outcomes[i] = OutcomeGaveUp
+		default:
+			outcomes[i] = OutcomeUndecided
+		}
 		if ph := int(p.phase) + 1; ph > phases {
 			phases = ph
 		}
@@ -225,10 +312,19 @@ loop:
 		MsgsBlocked:   d.net.blocked,
 		VirtualTime:   time.Duration(d.now) * time.Nanosecond,
 		Events:        d.events,
+		Crashes:       d.crashes,
+		Restarts:      d.restarts,
+		Wipes:         d.srv.wipes,
+		ChaosDrops:    d.chaosDrops,
+		GaveUp:        d.gaveUp,
+		Outcomes:      outcomes,
+		OpsApplied:    d.srv.applied,
+		DupDrops:      d.srv.dupDrops,
 		Violations:    mon.Finish(),
 	}
 	for i := range d.procs {
 		res.Retransmits += d.procs[i].retrans
+		res.Resyncs += d.procs[i].resyncs
 	}
 	if res.AllDecided {
 		res.Decision = outs[0]
@@ -261,37 +357,144 @@ const (
 
 func acObj(phase int32, which int) int32 { return phase*acObjsPerPhase + int32(which) }
 
-// sendReq issues a new stop-and-wait request from p (charging one step)
-// and arms the retransmission timer when the network can lose messages.
+// sendReq issues a new stop-and-wait request from p (charging one step,
+// except for session resyncs, which are bookkeeping rather than protocol
+// work) and arms the retransmission timer when messages can be lost.
 func (d *runner) sendReq(p *proc, m message) {
 	p.opSeq++
 	m.from = p.id
 	m.opSeq = p.opSeq
+	m.inc = p.inc
 	p.req = m
 	p.await = true
-	p.steps++
-	d.net.send(&d.q, d.now, p.id, serverID, m)
-	if d.net.lossy {
-		p.rto = d.rto0
-		d.q.push(d.now+p.rto, p.id, evTimer, message{opSeq: p.opSeq})
+	p.opRetries = 0
+	if m.op != opSync {
+		p.steps++
 	}
+	d.net.send(&d.q, d.now, p.id, serverID, m)
+	if d.timers {
+		p.rto = d.rto0
+		d.q.push(d.now+d.jittered(p.rto), p.id, evTimer, message{opSeq: p.opSeq, inc: p.inc})
+	}
+}
+
+// jittered spreads a timeout by up to jitter*rto of extra delay, drawn
+// from the dedicated retry fork. Jitter 0 draws nothing, so configs
+// without it replay byte-identically to builds that predate it.
+func (d *runner) jittered(rto int64) int64 {
+	if d.jitter > 0 {
+		rto += int64(float64(rto) * d.jitter * d.retryRng.Float64())
+	}
+	return rto
 }
 
 // onTimer handles a retransmission timer: if the guarded operation is
 // still outstanding, resend and back off; otherwise the timer is stale.
+// A bounded retry policy gives up here instead of retrying forever.
 func (d *runner) onTimer(p *proc, m message) {
 	if !p.await || p.req.opSeq != m.opSeq {
 		return
 	}
+	if d.maxRetries > 0 && p.opRetries >= d.maxRetries {
+		d.giveUp(p)
+		return
+	}
+	p.opRetries++
 	p.retrans++
 	d.net.send(&d.q, d.now, p.id, serverID, p.req)
 	if p.rto < d.rtoCap {
-		p.rto *= 2
+		p.rto = int64(float64(p.rto) * d.backoff)
 		if p.rto > d.rtoCap {
 			p.rto = d.rtoCap
 		}
 	}
-	d.q.push(d.now+p.rto, p.id, evTimer, message{opSeq: p.req.opSeq})
+	d.q.push(d.now+d.jittered(p.rto), p.id, evTimer, message{opSeq: p.req.opSeq, inc: p.inc})
+}
+
+// giveUp retires a process whose retry budget is exhausted: it stops
+// participating and is reported in Result.Outcomes instead of hanging
+// the event loop. Consensus safety is unaffected — a silent process is
+// indistinguishable from a slow one.
+func (d *runner) giveUp(p *proc) {
+	p.gaveUp = true
+	p.await = false
+	d.gaveUp++
+}
+
+// onCrash takes a node down. Crashes aimed at an already-down or
+// resigned node are ignored (no restart is scheduled), which keeps
+// overlapping schedule entries well-defined.
+func (d *runner) onCrash(to int32, m message) {
+	down := int64(m.key)
+	if to == serverID {
+		if d.srv.down {
+			return
+		}
+		d.srv.down = true
+		d.crashes++
+		d.q.push(d.now+down, to, evRestart, message{val: m.val})
+		return
+	}
+	p := &d.procs[to]
+	if p.down || p.gaveUp || p.decided {
+		return
+	}
+	p.down = true
+	d.crashes++
+	d.q.push(d.now+down, to, evRestart, message{val: m.val})
+}
+
+// onRestart brings a node back up. Durable restarts resume from the
+// persisted state (the outstanding request is re-sent, since its reply
+// may have been discarded during the down window); amnesiac restarts
+// lose everything, bump the incarnation, reseed the protocol RNG from
+// the incarnation-keyed fork, and re-enter through an opSync handshake.
+func (d *runner) onRestart(to int32, m message) {
+	if to == serverID {
+		d.srv.down = false
+		d.restarts++
+		if RestartKind(m.val) == RestartAmnesiac {
+			d.srv.wipe()
+		}
+		return
+	}
+	p := &d.procs[to]
+	if !p.down {
+		return
+	}
+	p.down = false
+	d.restarts++
+	if RestartKind(m.val) == RestartDurable {
+		if !p.decided && p.await {
+			// The reply (or request) in flight when we crashed was
+			// dropped; retransmit under a fresh timer.
+			p.retrans++
+			p.rto = d.rto0
+			p.opRetries = 0
+			d.net.send(&d.q, d.now, p.id, serverID, p.req)
+			d.q.push(d.now+d.jittered(p.rto), p.id, evTimer, message{opSeq: p.req.opSeq, inc: p.inc})
+		}
+		return
+	}
+	// Amnesiac: all volatile protocol state is gone. A previously decided
+	// process forgets its decision and must re-decide (agreement says it
+	// can only re-decide the same value — the monitors check exactly that).
+	if p.decided {
+		p.decided = false
+		d.decided--
+	}
+	p.inc++
+	p.resyncs++
+	xrand.New(p.seedBase).ForkNamedInto(uint64(p.inc), &p.rng)
+	p.phase, p.round = 0, 0
+	p.prefer = p.input
+	p.pers = nil
+	p.acConflict = false
+	p.opSeq = 0
+	p.await = false
+	p.opRetries = 0
+	p.pc = pcResync
+	d.sendReq(p, message{op: opSync})
 }
 
 // startPhase draws a fresh persona for the process's current preference
@@ -337,12 +540,16 @@ func (d *runner) startAC(p *proc) {
 // replies (sequence mismatch) are ignored; the state machine only ever
 // moves on the reply it is waiting for.
 func (d *runner) onReply(p *proc, m message) {
-	if !p.await || m.opSeq != p.opSeq || p.decided {
+	if !p.await || m.opSeq != p.opSeq || m.inc != p.inc || p.decided || p.gaveUp {
 		return
 	}
 	p.await = false
 	v := p.acIn
 	switch p.pc {
+	case pcResync:
+		// Session re-established; restart the protocol from phase zero.
+		d.startPhase(p)
+
 	case pcSiftOp:
 		if m.op == opReadP && m.ok {
 			p.pers = m.pers

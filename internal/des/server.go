@@ -22,21 +22,26 @@ const (
 	opReadMax              // max register ReadMax
 	opWriteV               // int register write
 	opReadV                // int register read
+	opSync                 // session resync after an amnesiac restart
 )
 
 // message is both RPC request and reply (reply=true echoes the request's
-// op and opSeq with the result fields filled in). It is carried by value
-// inside events.
+// op, opSeq, and inc with the result fields filled in). It is carried by
+// value inside events.
 type message struct {
 	op    opKind
 	reply bool
 	from  int32 // requesting process id
 	opSeq uint32
-	obj   int32
-	key   uint64
-	val   int32
-	ok    bool
-	pers  *persona.Persona[int]
+	// inc is the sender's incarnation number: an amnesiac restart bumps
+	// it, so the server can fence the dead incarnation's stragglers and
+	// the client can ignore stale replies and timers.
+	inc  uint32
+	obj  int32
+	key  uint64
+	val  int32
+	ok   bool
+	pers *persona.Persona[int]
 }
 
 // opCtx is the memory.Context under which the server applies operations:
@@ -52,26 +57,39 @@ func (c opCtx) ID() int       { return c.pid }
 
 // server is the memory node: it owns every shared object and applies
 // each logical operation exactly once. Clients are stop-and-wait with
-// per-process operation sequence numbers, so dedup needs only the last
-// applied sequence and its reply per process: a request with the same
-// sequence is a retransmission (re-send the cached reply — the first
-// reply may have been lost), anything older is a stale duplicate to
-// drop, and exactly lastSeq+1 is new work.
+// per-process (incarnation, operation-sequence) pairs, so dedup needs
+// only the last applied pair and its reply per process: a request with
+// the same sequence is a retransmission (re-send the cached reply — the
+// first reply may have been lost), anything older is a stale duplicate
+// to drop, and anything newer is new work. Stop-and-wait makes new
+// sequences contiguous in the steady state; a gap can only appear after
+// this server lost its own dedup cache in an amnesiac restart, in which
+// case accepting the gap is what re-admits the (still live) clients. A
+// lower incarnation is a dead process's straggler and is fenced; a
+// higher one resets the session.
 type server struct {
 	persRegs []*memory.Register[*persona.Persona[int]]
 	maxRegs  []*fault.MonitoredMaxer[*persona.Persona[int]]
 	intRegs  []*memory.Register[int]
 	mon      *fault.Monitor
 
+	lastInc  []uint32
 	lastSeq  []uint32
 	lastRep  []message
 	applied  int64
 	dupDrops int64
+
+	// down marks a crash window: the run loop discards deliveries
+	// addressed to a down server, so in-flight RPCs time out at the
+	// clients and the retry policy takes over.
+	down  bool
+	wipes int64
 }
 
 func newServer(n int, mon *fault.Monitor) *server {
 	return &server{
 		mon:     mon,
+		lastInc: make([]uint32, n),
 		lastSeq: make([]uint32, n),
 		lastRep: make([]message, n),
 	}
@@ -102,6 +120,18 @@ func (s *server) intReg(i int32) *memory.Register[int] {
 // handle processes one incoming request and routes the reply back
 // through the network.
 func (s *server) handle(q *eventQueue, nw *network, now int64, m message) {
+	switch {
+	case m.inc < s.lastInc[m.from]:
+		// A dead incarnation's straggler; fence it.
+		s.dupDrops++
+		return
+	case m.inc > s.lastInc[m.from]:
+		// A new incarnation announces itself: the old session's dedup
+		// state is history.
+		s.lastInc[m.from] = m.inc
+		s.lastSeq[m.from] = 0
+		s.lastRep[m.from] = message{}
+	}
 	last := s.lastSeq[m.from]
 	switch {
 	case m.opSeq == last:
@@ -109,7 +139,7 @@ func (s *server) handle(q *eventQueue, nw *network, now int64, m message) {
 		s.dupDrops++
 		nw.send(q, now, serverID, m.from, s.lastRep[m.from])
 		return
-	case m.opSeq != last+1:
+	case m.opSeq < last:
 		// A duplicate older than the client's current operation; its
 		// reply was already consumed. Drop.
 		s.dupDrops++
@@ -125,7 +155,7 @@ func (s *server) handle(q *eventQueue, nw *network, now int64, m message) {
 // apply executes one logical operation against the shared objects.
 func (s *server) apply(m message) message {
 	ctx := opCtx{pid: int(m.from)}
-	r := message{op: m.op, reply: true, from: m.from, opSeq: m.opSeq, obj: m.obj}
+	r := message{op: m.op, reply: true, from: m.from, opSeq: m.opSeq, inc: m.inc, obj: m.obj}
 	switch m.op {
 	case opWriteP:
 		s.persReg(m.obj).Write(ctx, m.pers)
@@ -141,8 +171,31 @@ func (s *server) apply(m message) message {
 		var v int
 		v, r.ok = s.intReg(m.obj).Read(ctx)
 		r.val = int32(v)
+	case opSync:
+		// Session re-establishment after an amnesiac restart: the
+		// incarnation bump above already reset the dedup slot; the ack
+		// is the client's cue that the server will accept its fresh
+		// sequence numbers.
+		r.ok = true
 	}
 	return r
+}
+
+// wipe is an amnesiac server restart: every register and the dedup cache
+// are lost. The monitored max registers' recorded histories are checked
+// first so pre-wipe linearizability findings are not discarded with the
+// objects. Wiping breaks the atomic shared-memory model — the safety
+// monitors observing across the wipe are expected to fire; that is the
+// finding, not a bug.
+func (s *server) wipe() {
+	for _, m := range s.maxRegs {
+		m.Finish()
+	}
+	s.persRegs, s.maxRegs, s.intRegs = nil, nil, nil
+	for i := range s.lastSeq {
+		s.lastInc[i], s.lastSeq[i], s.lastRep[i] = 0, 0, message{}
+	}
+	s.wipes++
 }
 
 // finish runs the per-object linearizability checks of the monitored max

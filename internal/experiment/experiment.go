@@ -105,6 +105,7 @@ func All() []Experiment {
 		e18DES(),
 		e19AttackSearch(),
 		e20MonteCarlo(),
+		e21Chaos(),
 	}
 }
 

@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("%d experiments registered, want 20", len(all))
+	if len(all) != 21 {
+		t.Fatalf("%d experiments registered, want 21", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, e := range all {
@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(IDs()) != 20 {
+	if len(IDs()) != 21 {
 		t.Fatalf("IDs() returned %d", len(IDs()))
 	}
 }

@@ -33,6 +33,7 @@ func TestGoldenTables(t *testing.T) {
 		{id: "E18", parallel: 3}, // DES: virtual-time runs must replay byte-identically
 		{id: "E19", parallel: 2}, // attack search: the whole evolutionary loop must replay byte-identically
 		{id: "E20", parallel: 4}, // flat-engine Monte Carlo: worker-count independence of the streaming aggregate
+		{id: "E21", parallel: 3}, // chaos matrix: crash/restart schedules must replay byte-identically
 	}
 	for _, tc := range cases {
 		tc := tc

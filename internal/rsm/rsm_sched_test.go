@@ -147,6 +147,112 @@ func TestKVUnderCrashRecoverySchedule(t *testing.T) {
 	}
 }
 
+// TestKVRetryUnderCrashRecovery is the DES-style adversity test for the
+// replicated KV: client retry (RunRetry re-submits commands that lose
+// their slot) combined with a crash-recovery fault schedule (replicas
+// lose all local state and re-walk the log from the top) and a
+// permanently crashed replica mid-operation. The linearizability
+// obligations checked:
+//
+//  1. every observed log is a prefix of the longest observed log
+//     (single total order of committed commands);
+//  2. no command commits twice — retry plus amnesiac re-walks must stay
+//     exactly-once, because a restarted replica's walk is a
+//     deterministic function of the already-decided prefix;
+//  3. every surviving replica's commands commit exactly once each
+//     (retry eventually lands every loser);
+//  4. each replica's KV state equals the reference state machine
+//     replayed over the prefix it observed.
+func TestKVRetryUnderCrashRecovery(t *testing.T) {
+	const (
+		n     = 4
+		slots = 4
+	)
+	fs, err := fault.NewSchedule(n, []fault.Event{
+		{Kind: fault.CrashRecover, Pid: 1, Slot: 120},
+		{Kind: fault.Stutter, Pid: 3, Slot: 200, Arg: 8},
+		{Kind: fault.CrashRecover, Pid: 2, Slot: 350},
+		{Kind: fault.CrashRecover, Pid: 1, Slot: 600},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := NewLog[Op](n, consensus.NewRegister[Op])
+	// Distinct commands (value encodes replica and sequence) make
+	// duplicate commits detectable while still contending on shared keys.
+	keys := []string{"x", "y"}
+	pending := make([][]Op, n)
+	for r := 0; r < n; r++ {
+		for s := 0; s < slots; s++ {
+			pending[r] = append(pending[r], Op{
+				Kind:  OpKind(s%3 + 1),
+				Key:   keys[(r+s)%len(keys)],
+				Value: fmt.Sprintf("r%d-s%d", r, s),
+			})
+		}
+	}
+	// Replica 0 is killed for good mid-Propose; 1 and 2 crash-recover.
+	src := sched.NewCrashSet(sched.NewRandom(n, xrand.New(83)), []int{0}, 25, 89)
+	logs := make([][]Op, n)
+	fps := make([]string, n)
+	_, finished, res, err := sim.Collect(src, sim.Config{AlgSeed: 97, Faults: fs}, func(p *sim.Proc) struct{} {
+		r := NewReplica(p.ID(), log, NewKV())
+		logs[p.ID()] = r.RunRetry(p, 0, pending[p.ID()], n*slots)
+		fps[p.ID()] = r.Fingerprint()
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts == 0 {
+		t.Fatal("no crash-recovery restarts were delivered; the test exercised nothing")
+	}
+	if finished[0] {
+		t.Fatal("the crashed leader finished; the cutoff did not kill it mid-op")
+	}
+	ref := logs[0]
+	for r := 1; r < n; r++ {
+		if !finished[r] {
+			t.Fatalf("survivor %d did not finish under retry + crash-recovery", r)
+		}
+		if len(logs[r]) > len(ref) {
+			ref = logs[r]
+		}
+	}
+	for r := 0; r < n; r++ {
+		for s := range logs[r] {
+			if logs[r][s] != ref[s] {
+				t.Fatalf("slot %d: replica %d observed %v, longest log has %v", s, r, logs[r][s], ref[s])
+			}
+		}
+	}
+	commits := make(map[Op]int)
+	for _, cmd := range ref {
+		commits[cmd]++
+		if commits[cmd] > 1 {
+			t.Fatalf("command %v committed twice: retry or amnesiac re-walk broke exactly-once", cmd)
+		}
+	}
+	for r := 1; r < n; r++ {
+		for _, cmd := range pending[r] {
+			if commits[cmd] != 1 {
+				t.Fatalf("survivor %d command %v committed %d times, want exactly 1", r, cmd, commits[cmd])
+			}
+		}
+	}
+	// Replaying the reference prefix each replica observed must reproduce
+	// that replica's state byte-for-byte.
+	for r := 1; r < n; r++ {
+		replay := NewKV()
+		for _, cmd := range ref[:len(logs[r])] {
+			replay.Apply(cmd)
+		}
+		if fps[r] != replay.Fingerprint() {
+			t.Fatalf("replica %d state %q != reference replay %q", r, fps[r], replay.Fingerprint())
+		}
+	}
+}
+
 // TestKillLeaderMidOp is the kill-a-leader regression test: replica 0 —
 // the "leader" proposing the commands everyone is waiting on — is
 // permanently crashed partway through its first consensus operation

@@ -59,13 +59,21 @@ func (r *Rand) Fork() *Rand {
 // in addition to the parent's stream. Useful when the same parent must
 // yield reproducible children regardless of draw order elsewhere.
 func (r *Rand) ForkNamed(label uint64) *Rand {
-	return New(r.Uint64() ^ mix(label))
+	return New(r.SeedNamed(label))
 }
 
 // ForkNamedInto seeds into with the same stream ForkNamed(label) would
 // return, reusing into's storage instead of allocating.
 func (r *Rand) ForkNamedInto(label uint64, into *Rand) {
-	into.Reseed(r.Uint64() ^ mix(label))
+	into.Reseed(r.SeedNamed(label))
+}
+
+// SeedNamed draws the seed ForkNamed(label) would use without building
+// the child. Callers that must later re-derive related streams (e.g.
+// per-incarnation reseeds keyed off one process's base seed) store this
+// value; New(SeedNamed(label)) is exactly ForkNamed(label).
+func (r *Rand) SeedNamed(label uint64) uint64 {
+	return r.Uint64() ^ mix(label)
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -78,6 +78,27 @@ func TestForkNamedDistinct(t *testing.T) {
 	}
 }
 
+func TestSeedNamedMatchesForkNamed(t *testing.T) {
+	// The contract incarnation reseeding depends on: a stored SeedNamed
+	// value rebuilds exactly the stream ForkNamed would have produced,
+	// and ForkNamedInto is the allocation-free spelling of the same.
+	for _, label := range []uint64{0, 1, 0xa190, ^uint64(0)} {
+		a := New(New(9).SeedNamed(label))
+		b := New(9).ForkNamed(label)
+		var c Rand
+		New(9).ForkNamedInto(label, &c)
+		for i := 0; i < 64; i++ {
+			av := a.Uint64()
+			if bv := b.Uint64(); av != bv {
+				t.Fatalf("label %#x draw %d: New(SeedNamed) %d != ForkNamed %d", label, i, av, bv)
+			}
+			if cv := c.Uint64(); av != cv {
+				t.Fatalf("label %#x draw %d: New(SeedNamed) %d != ForkNamedInto %d", label, i, av, cv)
+			}
+		}
+	}
+}
+
 func TestUint64nRange(t *testing.T) {
 	r := New(3)
 	if err := quick.Check(func(n uint64) bool {
