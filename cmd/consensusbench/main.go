@@ -126,6 +126,21 @@ func run(args []string, out io.Writer) error {
 	fs.Int64Var(&mf.trials, "mc-trials", 0, "Monte Carlo trials per protocol (0 = default 1000000, quick 20000)")
 	fs.StringVar(&mf.schedK, "mc-sched", "", "schedule kind driving the Monte Carlo trials (default random)")
 	fs.StringVar(&mf.jsonOut, "mc-json", "", "write a conciliator-mc/v1 JSON record of the Monte Carlo sweep to this path")
+	var sf serviceFlags
+	fs.BoolVar(&sf.load, "service-load", false, "run the consensus-as-a-service load generator (in-process node, or remote with -service-addr)")
+	fs.StringVar(&sf.shards, "service-shards", "", "comma-separated shard counts to sweep in-process (default 1,4)")
+	fs.IntVar(&sf.pipeline, "service-pipeline", 0, "in-flight consensus slots per shard (0 = service default)")
+	fs.IntVar(&sf.batchMax, "service-batch-max", 0, "max ops per consensus slot (0 = service default)")
+	fs.IntVar(&sf.queue, "service-queue", 0, "per-shard intake queue depth (0 = service default)")
+	fs.IntVar(&sf.clients, "service-clients", 0, "concurrent closed-loop clients (0 = default 16, quick 8)")
+	fs.DurationVar(&sf.duration, "service-duration", 0, "load duration per configuration (0 = default 2s, quick 500ms)")
+	fs.Float64Var(&sf.readFrac, "service-read-frac", 0, "fraction of ops that are reads (0 = default 0.25)")
+	fs.IntVar(&sf.keys, "service-keys", 0, "keyspace size (0 = default 1024)")
+	fs.StringVar(&sf.skew, "service-skew", "", "key popularity: uniform or zipf (default uniform)")
+	fs.StringVar(&sf.protocol, "service-protocol", "", "consensus construction per slot: register, snapshot, or linear (default register)")
+	fs.StringVar(&sf.addr, "service-addr", "", "drive a running consensusd at this address over HTTP instead of an in-process node")
+	fs.StringVar(&sf.jsonOut, "service-json", "", "write an rsm-service/v1 JSON load record to this path")
+	fs.StringVar(&sf.baseline, "service-baseline", "", "compare write throughput against a committed rsm-service/v1 record; exit nonzero on a >10% regression (skipped across host shapes)")
 	var df desFlags
 	fs.BoolVar(&df.run, "des", false, "run the discrete-event message-passing sweep (steps vs n at n up to 100k)")
 	fs.StringVar(&df.jsonOut, "des-json", "", "write the DES sweep's JSON record to this path")
@@ -141,6 +156,30 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&df.replay, "des-fault-replay", "", "replay a des-fault-repro/v1 artifact and verify its violations reproduce")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if sf.active() {
+		// Service-load mode is its own run shape: it drives the live
+		// service node, not any simulator experiment, so every other
+		// mode's flags are contradictory.
+		if mf.active() || af.active() || df.active() || ff.active() {
+			return fmt.Errorf("-service flags cannot be combined with -mc/-attack/-des/-fault flags: the load generator drives the service node, not a simulator sweep")
+		}
+		if *benchOut != "" || *benchBaseline != "" || *benchConcOut != "" || *benchConcBaseline != "" {
+			return fmt.Errorf("-service flags cannot be combined with -bench-json/-bench-baseline/-bench-concurrent-json/-bench-concurrent-baseline: the service record (-service-json) carries its own throughput figures")
+		}
+		if *expID != "" || *all || *list {
+			return fmt.Errorf("-service flags cannot be combined with -experiment/-all/-list")
+		}
+		if !sf.load {
+			return fmt.Errorf("-service-json/-service-baseline/-service-addr require -service-load")
+		}
+		switch *format {
+		case "text", "markdown", "tsv":
+		default:
+			return fmt.Errorf("unknown format %q (want text, markdown, or tsv)", *format)
+		}
+		return runServiceLoad(out, &sf, *seed, *quick, *format, *debugAddr)
 	}
 
 	if mf.active() {

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"github.com/oblivious-consensus/conciliator/internal/metrics"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on a
+// duplicate name, and tests drive run() more than once per process.
+var publishOnce sync.Once
+
+// startDebugServer serves expvar (including the live metrics registry
+// under the "conciliator_metrics" var, same name as consensusbench's) and
+// net/http/pprof on addr, on a private mux so the profiling endpoints
+// never leak onto the client API listener.
+func startDebugServer(addr string) (string, func(), error) {
+	publishOnce.Do(func() {
+		expvar.Publish("conciliator_metrics", expvar.Func(func() any {
+			return metrics.Default().Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,169 @@
+package rsm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/consensus"
+	"github.com/oblivious-consensus/conciliator/internal/sched"
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+// TestKVIncParsing pins OpInc's parse contract: only a string strconv.Atoi
+// accepts in full is an integer. The pre-fix fmt.Sscanf accepted partial
+// parses, so "12abc" incremented to "13" instead of resetting to 1.
+func TestKVIncParsing(t *testing.T) {
+	cases := []struct {
+		name string
+		cur  string // pre-existing value ("<missing>" = no key)
+		want string
+	}{
+		{"missing key", "<missing>", "1"},
+		{"empty string", "", "1"},
+		{"plain integer", "41", "42"},
+		{"negative integer", "-3", "-2"},
+		{"partial parse", "12abc", "1"},
+		{"leading space", " 7", "1"},
+		{"trailing newline", "7\n", "1"},
+		{"plus sign", "+5", "6"}, // Atoi accepts an explicit sign
+		{"float", "2.5", "1"},
+		{"out of range", "92233720368547758079999", "1"},
+		{"max int saturates", strconv.Itoa(math.MaxInt), strconv.Itoa(math.MaxInt)},
+		{"min int", strconv.Itoa(math.MinInt), strconv.Itoa(math.MinInt + 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			kv := NewKV()
+			if tc.cur != "<missing>" {
+				kv.Apply(Op{Kind: OpSet, Key: "k", Value: tc.cur})
+			}
+			kv.Apply(Op{Kind: OpInc, Key: "k"})
+			got, ok := kv.Get("k")
+			if !ok || got != tc.want {
+				t.Fatalf("inc over %q: got (%q, %v), want (%q, true)", tc.cur, got, ok, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunRetryTaggedDuplicatePayloads is the regression test for the
+// duplicate-payload drop: two replicas submit byte-identical command
+// lists. With plain RunRetry one winner satisfies both replicas' equality
+// matches and the loser's op never retries; with (replica, seq) tags
+// every submission is distinct, so each must commit exactly once.
+func TestRunRetryTaggedDuplicatePayloads(t *testing.T) {
+	const n = 2
+	payload := []string{"inc x", "inc x"} // identical within and across replicas
+	log := NewLog[Tagged[string]](n, consensus.NewRegister[Tagged[string]])
+	logs := make([][]Tagged[string], n)
+	_, finished, _, err := sim.Collect(sched.NewRandom(n, xrand.New(7)), sim.Config{AlgSeed: 11}, func(p *sim.Proc) struct{} {
+		r := NewReplica(p.ID(), log, nil)
+		logs[p.ID()] = RunRetryTagged(r, p, 0, 0, payload, 64)
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := logs[0]
+	for r := 1; r < n; r++ {
+		if !finished[r] {
+			t.Fatalf("replica %d unfinished", r)
+		}
+		if len(logs[r]) > len(ref) {
+			ref = logs[r]
+		}
+	}
+	commits := make(map[Tagged[string]]int)
+	for _, cmd := range ref {
+		commits[cmd]++
+	}
+	for r := 0; r < n; r++ {
+		for seq := range payload {
+			want := Tagged[string]{Replica: r, Seq: seq, Cmd: payload[seq]}
+			if commits[want] != 1 {
+				t.Fatalf("replica %d seq %d committed %d times, want exactly 1 (log %v)",
+					r, seq, commits[want], ref)
+			}
+		}
+	}
+}
+
+// TestRunRetryDuplicatePayloadHazard documents why the tag exists: the
+// same duplicate-payload workload through plain RunRetry conflates the
+// replicas' submissions, committing fewer copies than were submitted.
+// If this test ever starts failing because all four copies commit, plain
+// RunRetry has learned identities and the Tagged warning can be dropped.
+func TestRunRetryDuplicatePayloadHazard(t *testing.T) {
+	const n = 2
+	payload := []string{"inc x", "inc x"}
+	log := NewLog[string](n, consensus.NewRegister[string])
+	logs := make([][]string, n)
+	_, _, _, err := sim.Collect(sched.NewRandom(n, xrand.New(7)), sim.Config{AlgSeed: 11}, func(p *sim.Proc) struct{} {
+		r := NewReplica(p.ID(), log, nil)
+		logs[p.ID()] = r.RunRetry(p, 0, payload, 64)
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	longest := logs[0]
+	if len(logs[1]) > len(longest) {
+		longest = logs[1]
+	}
+	if got := len(longest); got >= 2*len(payload) {
+		t.Fatalf("plain RunRetry committed %d slots for %d submissions; the duplicate-payload hazard no longer reproduces", got, 2*len(payload))
+	}
+}
+
+// TestSparseSlotInstantiation pins the lazy-slot allocation behavior: a
+// proposal into a distant slot must instantiate exactly one consensus
+// protocol, not one per intermediate gap slot (the pre-fix dense slice
+// allocated a protocol for every slot below the target).
+func TestSparseSlotInstantiation(t *testing.T) {
+	const distant = 1_000_000
+	made := 0
+	mk := func(n int) *consensus.Protocol[string] {
+		made++
+		return consensus.NewRegister[string](n)
+	}
+	log := NewLog[string](1, mk)
+	_, _, _, err := sim.Collect(sched.NewRoundRobin(1), sim.Config{AlgSeed: 3}, func(p *sim.Proc) struct{} {
+		r := NewReplica(0, log, nil)
+		r.Run(p, distant, []string{"far"})
+		r.Run(p, 2, []string{"near"})
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if made != 2 {
+		t.Fatalf("instantiated %d consensus protocols for 2 proposals, want 2", made)
+	}
+	if got := log.Slots(); got != 2 {
+		t.Fatalf("Slots() = %d after sparse proposals into slots %d and 2, want 2", got, distant)
+	}
+}
+
+// TestSlotsCountsDenseFill keeps the dense-use contract of Slots() intact
+// alongside the sparse representation.
+func TestSlotsCountsDenseFill(t *testing.T) {
+	const slots = 4
+	log := NewLog[string](1, consensus.NewRegister[string])
+	pending := make([]string, slots)
+	for s := range pending {
+		pending[s] = fmt.Sprintf("cmd-%d", s)
+	}
+	_, _, _, err := sim.Collect(sched.NewRoundRobin(1), sim.Config{AlgSeed: 5}, func(p *sim.Proc) struct{} {
+		NewReplica(0, log, nil).Run(p, 0, pending)
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := log.Slots(); got != slots {
+		t.Fatalf("Slots() = %d, want %d", got, slots)
+	}
+}

@@ -2,7 +2,9 @@ package rsm
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -15,7 +17,8 @@ const (
 	// OpDel removes Key.
 	OpDel
 	// OpInc increments the integer stored at Key (missing keys count as
-	// zero; non-integers reset to 1).
+	// zero; non-integers — including partial parses like "12abc" and
+	// out-of-range digit strings — reset to 1; math.MaxInt saturates).
 	OpInc
 )
 
@@ -71,13 +74,19 @@ func (kv *KV) Apply(cmd Op) {
 	case OpDel:
 		delete(kv.data, cmd.Key)
 	case OpInc:
+		// strconv.Atoi, not fmt.Sscanf: Sscanf accepts partial parses
+		// ("12abc" yields 12), silently treating garbage as an integer and
+		// violating the documented reset-to-1 contract.
 		n := 0
 		if cur, ok := kv.data[cmd.Key]; ok {
-			if _, err := fmt.Sscanf(cur, "%d", &n); err != nil {
-				n = 0
+			if v, err := strconv.Atoi(cur); err == nil {
+				n = v
 			}
 		}
-		kv.data[cmd.Key] = fmt.Sprintf("%d", n+1)
+		if n < math.MaxInt {
+			n++
+		}
+		kv.data[cmd.Key] = strconv.Itoa(n)
 	}
 }
 

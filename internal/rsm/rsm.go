@@ -26,8 +26,12 @@ type Log[V comparable] struct {
 	n  int
 	mk func(n int) *consensus.Protocol[V]
 
+	// slots is sparse: a consensus instance exists only for slots some
+	// replica actually proposed into. A dense slice here would let a
+	// single Propose(p, 1_000_000, v) allocate a million protocols for
+	// the untouched gap.
 	mu    sync.Mutex
-	slots []*consensus.Protocol[V]
+	slots map[int]*consensus.Protocol[V]
 }
 
 // NewLog returns a replicated log whose slots are decided by protocols
@@ -39,7 +43,7 @@ func NewLog[V comparable](n int, mk func(n int) *consensus.Protocol[V]) *Log[V] 
 	if mk == nil {
 		panic("rsm: nil consensus factory")
 	}
-	return &Log[V]{n: n, mk: mk}
+	return &Log[V]{n: n, mk: mk, slots: make(map[int]*consensus.Protocol[V])}
 }
 
 // Replicas returns the number of replicas n.
@@ -53,7 +57,8 @@ func (l *Log[V]) Propose(p *sim.Proc, slot int, v V) V {
 	return l.slotProtocol(slot).Propose(p, v)
 }
 
-// Slots returns how many slots have been instantiated so far.
+// Slots returns how many slots have been instantiated so far (slots
+// actually proposed into — gaps left by sparse proposals don't count).
 func (l *Log[V]) Slots() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -66,10 +71,12 @@ func (l *Log[V]) slotProtocol(slot int) *consensus.Protocol[V] {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for len(l.slots) <= slot {
-		l.slots = append(l.slots, l.mk(l.n))
+	c, ok := l.slots[slot]
+	if !ok {
+		c = l.mk(l.n)
+		l.slots[slot] = c
 	}
-	return l.slots[slot]
+	return c
 }
 
 // StateMachine is a deterministic state machine replayed over the log.
@@ -125,6 +132,13 @@ func (r *Replica[V]) Run(p *sim.Proc, startSlot int, pending []V) []V {
 // that loses its slot is retried in the next slot, until every pending
 // command has been committed (in some slot) or maxSlots is exhausted.
 // It returns the full decided log segment it observed.
+//
+// Commands are matched to decided values by equality, so commands must
+// be distinct across replicas: if two replicas submit byte-identical
+// commands, one winner satisfies both matches and the other replica's
+// still-uncommitted command is silently dropped (it never retries).
+// Callers whose payloads can collide must make commands distinct with an
+// identity tag — see Tagged and RunRetryTagged.
 func (r *Replica[V]) RunRetry(p *sim.Proc, startSlot int, pending []V, maxSlots int) []V {
 	var decidedLog []V
 	next := 0

@@ -1,0 +1,46 @@
+package rsm
+
+import (
+	"fmt"
+
+	"github.com/oblivious-consensus/conciliator/internal/sim"
+)
+
+// Tagged wraps a command with the identity of the replica that submitted
+// it and a per-replica sequence number. Two replicas submitting
+// byte-identical payloads still produce distinct Tagged values, which is
+// what makes retry loops sound: Replica.RunRetry matches decided values
+// to pending commands by equality, so identical untagged payloads from
+// different replicas are conflated — one winner satisfies both matches
+// and the loser's command is silently dropped. Tagging restores the
+// invariant that value equality implies "my own submission".
+//
+// Tagged is comparable whenever V is, so Tagged commands propose into a
+// Log[Tagged[V]] directly.
+type Tagged[V comparable] struct {
+	Replica int
+	Seq     int
+	Cmd     V
+}
+
+// String renders the tagged command for logs.
+func (t Tagged[V]) String() string {
+	return fmt.Sprintf("r%d.%d:%v", t.Replica, t.Seq, t.Cmd)
+}
+
+// RunRetryTagged proposes cmds with re-submission exactly like
+// Replica.RunRetry, but wraps each command with the replica's identity
+// and its index as a (replica, seq) tag first. Because every tagged
+// command is distinct across the whole system, a decided value equal to
+// the pending command is necessarily this replica's own submission, so
+// duplicate payloads from different replicas each commit exactly once
+// instead of racing for a single slot. seqBase offsets the sequence
+// numbers, letting a replica issue several RunRetryTagged calls over one
+// log without reusing tags.
+func RunRetryTagged[V comparable](r *Replica[Tagged[V]], p *sim.Proc, startSlot, seqBase int, cmds []V, maxSlots int) []Tagged[V] {
+	tagged := make([]Tagged[V], len(cmds))
+	for i, c := range cmds {
+		tagged[i] = Tagged[V]{Replica: r.ID(), Seq: seqBase + i, Cmd: c}
+	}
+	return r.RunRetry(p, startSlot, tagged, maxSlots)
+}

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"github.com/oblivious-consensus/conciliator/internal/rsm"
+)
+
+// maxValueBytes bounds a PUT body; larger values are refused rather than
+// buffered.
+const maxValueBytes = 1 << 20
+
+// kvResponse is the JSON body of every /v1/kv reply.
+type kvResponse struct {
+	Key   string `json:"key"`
+	Value string `json:"value,omitempty"`
+	Found bool   `json:"found"`
+	Shard int    `json:"shard"`
+	Slot  int    `json:"slot,omitempty"`
+}
+
+// NewHandler returns the node's HTTP API:
+//
+//	GET    /v1/kv/{key}      read the key from applied state
+//	PUT    /v1/kv/{key}      set the key to the request body
+//	DELETE /v1/kv/{key}      delete the key
+//	INC    /v1/kv/{key}      increment the integer at key
+//	POST   /v1/kv/{key}/inc  curl-friendly spelling of INC
+//	GET    /v1/status        node and per-shard counters
+//
+// Mutations return once their batch has committed through consensus and
+// applied; a draining node answers 503.
+func NewHandler(n *Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, n.Status())
+	})
+	mux.HandleFunc("GET /v1/kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		v, ok := n.Get(key)
+		code := http.StatusOK
+		if !ok {
+			code = http.StatusNotFound
+		}
+		writeJSON(w, code, kvResponse{Key: key, Value: v, Found: ok, Shard: n.ShardOf(key)})
+	})
+	mux.HandleFunc("PUT /v1/kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxValueBytes))
+		if err != nil {
+			http.Error(w, "value too large or unreadable", http.StatusBadRequest)
+			return
+		}
+		submit(n, w, rsm.Op{Kind: rsm.OpSet, Key: r.PathValue("key"), Value: string(body)})
+	})
+	mux.HandleFunc("DELETE /v1/kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		submit(n, w, rsm.Op{Kind: rsm.OpDel, Key: r.PathValue("key")})
+	})
+	mux.HandleFunc("POST /v1/kv/{key}/inc", func(w http.ResponseWriter, r *http.Request) {
+		submit(n, w, rsm.Op{Kind: rsm.OpInc, Key: r.PathValue("key")})
+	})
+	// Method patterns above catch the standard verbs; this method-less
+	// fallback serves the custom INC verb and turns everything else into
+	// a 405 instead of ServeMux's default 404.
+	mux.HandleFunc("/v1/kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != "INC" {
+			w.Header().Set("Allow", "GET, PUT, DELETE, INC")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		submit(n, w, rsm.Op{Kind: rsm.OpInc, Key: r.PathValue("key")})
+	})
+	return mux
+}
+
+func submit(n *Node, w http.ResponseWriter, op rsm.Op) {
+	res, err := n.Submit(0, op)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, http.StatusOK, kvResponse{
+		Key: op.Key, Value: res.Value, Found: res.Found, Shard: res.Shard, Slot: res.Slot,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LogHist is a log-linear histogram of non-negative int64 observations,
+// built for latency recording: every bucket array is allocated once at a
+// fixed, small size (a few tens of KB), so Add never grows memory no
+// matter how large the observed values get — unlike IntHist, whose dense
+// value-indexed table is exact but grows to 8 MB the first time a
+// microsecond-scale recorder observes a one-second outlier.
+//
+// Values below sub are exact; above that each power-of-two octave is
+// split into sub linear buckets, bounding the relative quantile error at
+// 1/sub (sub=64 → ≤1.6%). Min and max are tracked exactly.
+type LogHist struct {
+	counts  []int64
+	n       int64
+	sum     int64
+	min     int64
+	max     int64
+	sub     int64 // power of two: exact below this, 1/sub relative error above
+	log2sub int
+}
+
+// NewLogHist returns an empty histogram with sub linear buckets per
+// octave. sub must be a power of two ≥ 2; 64 is a good default.
+func NewLogHist(sub int) *LogHist {
+	if sub < 2 || sub&(sub-1) != 0 {
+		panic(fmt.Sprintf("stats: LogHist sub %d is not a power of two >= 2", sub))
+	}
+	log2sub := bits.TrailingZeros64(uint64(sub))
+	// Octaves run from log2sub to 62 (int64 values), sub buckets each,
+	// plus the exact region below sub. ~30 KB at sub=64, fixed forever.
+	size := sub + (63-log2sub)*sub
+	return &LogHist{
+		counts:  make([]int64, size),
+		sub:     int64(sub),
+		log2sub: log2sub,
+	}
+}
+
+// index maps a value to its bucket. Values < sub map to themselves; a
+// value in octave [2^k, 2^(k+1)) maps to one of sub buckets of width
+// 2^(k-log2sub). The mapping is continuous at the sub boundary.
+func (h *LogHist) index(v int64) int {
+	if v < h.sub {
+		return int(v)
+	}
+	k := 63 - bits.LeadingZeros64(uint64(v))
+	shift := k - h.log2sub
+	// (v >> shift) is in [sub, 2*sub); successive octaves stack in
+	// sub-sized blocks starting at index sub.
+	return int(int64(shift)*h.sub + v>>shift)
+}
+
+// bucketValue returns the representative value of bucket i: exact in the
+// linear region, the bucket midpoint above it.
+func (h *LogHist) bucketValue(i int) int64 {
+	if int64(i) < 2*h.sub {
+		// Width-1 buckets: the exact region plus the first octave.
+		return int64(i)
+	}
+	shift := i/int(h.sub) - 1
+	low := (int64(i) - int64(shift)*h.sub) << shift
+	return low + (int64(1)<<shift)/2
+}
+
+// Add records one observation of v. v must be non-negative.
+func (h *LogHist) Add(v int64) { h.AddN(v, 1) }
+
+// AddN records count observations of v. Never allocates.
+func (h *LogHist) AddN(v, count int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: LogHist.Add of negative value %d", v))
+	}
+	if count <= 0 {
+		return
+	}
+	h.counts[h.index(v)] += count
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n += count
+	h.sum += v * count
+}
+
+// Merge folds o into h. Both histograms must share the same sub; merging
+// in any order yields the same histogram.
+func (h *LogHist) Merge(o *LogHist) {
+	if h.sub != o.sub {
+		panic(fmt.Sprintf("stats: merging LogHist sub %d into sub %d", o.sub, h.sub))
+	}
+	if o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		if c > 0 {
+			h.counts[i] += c
+		}
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.n == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// N returns the number of observations.
+func (h *LogHist) N() int64 { return h.n }
+
+// Sum returns the exact sum of all observations.
+func (h *LogHist) Sum() int64 { return h.sum }
+
+// Mean returns the exact sample mean (0 for an empty histogram).
+func (h *LogHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min returns the smallest observation, exactly (0 when empty).
+func (h *LogHist) Min() int64 { return h.min }
+
+// Max returns the largest observation, exactly (0 when empty).
+func (h *LogHist) Max() int64 { return h.max }
+
+// Quantile returns the nearest-rank q-quantile's representative value:
+// exact below sub, within 1/sub relative error above. The extremes are
+// pinned to the exact tracked min and max. An empty histogram returns 0.
+func (h *LogHist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := nearestRank(q, h.n)
+	var cum int64
+	lo, hi := h.index(h.min), h.index(h.max)
+	for i := lo; i <= hi; i++ {
+		cum += h.counts[i]
+		if cum >= rank {
+			switch i {
+			case lo:
+				return h.min
+			case hi:
+				return h.max
+			}
+			return h.bucketValue(i)
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/oblivious-consensus/conciliator/internal/xrand"
+)
+
+func TestLogHistExactRegion(t *testing.T) {
+	h := NewLogHist(64)
+	for v := int64(0); v < 128; v++ {
+		h.Add(v)
+	}
+	// Below 2*sub every bucket has width 1, so quantiles are exact and
+	// must match IntHist on the same sample.
+	d := NewIntHist(128)
+	for v := int64(0); v < 128; v++ {
+		d.Add(v)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := h.Quantile(q), d.Quantile(q); got != want {
+			t.Fatalf("q=%v: LogHist %d, IntHist %d", q, got, want)
+		}
+	}
+	if h.N() != 128 || h.Min() != 0 || h.Max() != 127 || h.Sum() != 127*128/2 {
+		t.Fatalf("summary stats: n=%d min=%d max=%d sum=%d", h.N(), h.Min(), h.Max(), h.Sum())
+	}
+}
+
+func TestLogHistRelativeError(t *testing.T) {
+	const sub = 64
+	h := NewLogHist(sub)
+	rng := xrand.New(5)
+	// Latency-shaped sample: microseconds spanning six orders of
+	// magnitude, compared quantile-by-quantile against the exact IntHist.
+	d := NewIntHist(1 << 21)
+	for i := 0; i < 50000; i++ {
+		v := int64(rng.Uint64n(1 << uint(4+rng.Intn(17))))
+		h.Add(v)
+		d.Add(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := d.Quantile(q)
+		got := h.Quantile(q)
+		if exact == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got-exact)) / float64(exact)
+		if rel > 1.0/sub {
+			t.Fatalf("q=%v: LogHist %d vs exact %d, relative error %.4f > 1/%d", q, got, exact, rel, sub)
+		}
+	}
+	if h.N() != d.N() || h.Sum() != d.Sum() || h.Min() != d.Min() || h.Max() != d.Max() {
+		t.Fatal("exact summary stats diverged from IntHist")
+	}
+}
+
+func TestLogHistNeverAllocates(t *testing.T) {
+	h := NewLogHist(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Add(1)
+		h.Add(1_000_000)           // a one-second outlier in microseconds
+		h.Add(math.MaxInt64 - 100) // the largest representable value
+	})
+	if allocs != 0 {
+		t.Fatalf("Add allocated %v times per run; the whole point is a fixed footprint", allocs)
+	}
+}
+
+func TestLogHistExtremesExact(t *testing.T) {
+	h := NewLogHist(64)
+	h.Add(123457)
+	h.Add(987654321)
+	// With one observation at each end, q=0 and q=1 must return the
+	// tracked exact min/max, not bucket midpoints.
+	if got := h.Quantile(0); got != 123457 {
+		t.Fatalf("q=0: %d, want exact min 123457", got)
+	}
+	if got := h.Quantile(1); got != 987654321 {
+		t.Fatalf("q=1: %d, want exact max 987654321", got)
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	a, b, whole := NewLogHist(32), NewLogHist(32), NewLogHist(32)
+	rng := xrand.New(11)
+	for i := 0; i < 2000; i++ {
+		v := int64(rng.Uint64n(1 << 20))
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() || a.Sum() != whole.Sum() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merged summary stats diverged from single-histogram run")
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged %d, whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestLogHistMergeSubMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched sub sizes did not panic")
+		}
+	}()
+	NewLogHist(32).Merge(NewLogHist(64))
+}
+
+func TestLogHistBadSub(t *testing.T) {
+	for _, sub := range []int{0, 1, 3, 48, -64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewLogHist(%d) did not panic", sub)
+				}
+			}()
+			NewLogHist(sub)
+		}()
+	}
+}
+
+func TestLogHistEmpty(t *testing.T) {
+	h := NewLogHist(64)
+	if h.Quantile(0.5) != 0 || h.N() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
